@@ -1,0 +1,77 @@
+// Runtime-estimate accuracy sweep.
+//
+// Planning-based scheduling lives on user estimates (paper Section 3.1:
+// "we are using the estimated duration of jobs, as we assume planning based
+// resource management"). This bench sweeps the over-estimation factor of
+// the synthetic workload from perfect estimates (factor 1) to wildly
+// inflated requests (factor 16) and reports how each scheduler's observed
+// metrics respond — the classic estimate-quality question (Mu'alem &
+// Feitelson) inside this reproduction's substrate.
+#include <cstdio>
+#include <iostream>
+
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/flags.hpp"
+#include "dynsched/util/table.hpp"
+
+using namespace dynsched;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("bench_estimate_accuracy");
+  auto& jobs = flags.addInt("jobs", 800, "jobs per sweep point");
+  auto& seed = flags.addInt("seed", 71, "workload seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  util::TextTable table({"max over-estimation", "scheduler", "ART [s]",
+                         "AWT [s]", "SLD", "util", "switches"});
+  table.setAlign(0, util::TextTable::Align::Left);
+  table.setAlign(1, util::TextTable::Align::Left);
+
+  for (const double factor : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    trace::SyntheticModel model = trace::ctcModel();
+    model.estimates.maxFactor = factor;
+    // Same seed at every sweep point: identical arrival/runtime streams,
+    // only the estimates change.
+    const auto swf = model.generate(static_cast<std::size_t>(jobs),
+                                    static_cast<std::uint64_t>(seed));
+    const auto jobList = core::fromSwf(swf);
+    const core::Machine machine{430};
+    char label[32];
+    std::snprintf(label, sizeof(label), "x%.0f", factor);
+
+    const auto addRow = [&](const std::string& name,
+                            const sim::SimulationReport& r) {
+      char art[32], awt[32], sld[32], util_[32];
+      std::snprintf(art, sizeof(art), "%.0f", r.avgResponseTime());
+      std::snprintf(awt, sizeof(awt), "%.0f", r.avgWaitTime());
+      std::snprintf(sld, sizeof(sld), "%.2f", r.avgSlowdown());
+      std::snprintf(util_, sizeof(util_), "%.3f",
+                    r.utilization(machine.nodes));
+      table.addRow({label, name, art, awt, sld, util_,
+                    std::to_string(r.switches.size())});
+    };
+    {
+      sim::SimOptions options;
+      options.kind = sim::SchedulerKind::DynP;
+      sim::RmsSimulator simulator(machine, options);
+      addRow("dynP", simulator.run(jobList));
+    }
+    for (const core::PolicyKind policy :
+         {core::PolicyKind::Fcfs, core::PolicyKind::Sjf}) {
+      sim::SimOptions options;
+      options.kind = sim::SchedulerKind::FixedPolicy;
+      options.fixedPolicy = policy;
+      sim::RmsSimulator simulator(machine, options);
+      addRow(core::policyName(policy), simulator.run(jobList));
+    }
+    table.addRule();
+  }
+  std::cout << table.render();
+  std::puts(
+      "\nexpected shape: estimates drive the plans, actual runtimes drive\n"
+      "execution; inflated estimates distort SJF/LJF orderings and the\n"
+      "planned start times, but early-completion replanning recovers most\n"
+      "of the loss — metrics degrade gracefully with the factor.");
+  return 0;
+}

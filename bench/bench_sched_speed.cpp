@@ -1,0 +1,126 @@
+// Scheduling-speed claims (paper Sections 3.2/4), as google-benchmark
+// micro-benchmarks.
+//
+// The paper: "With the basic policies of the self-tuning dynP scheduler,
+// the time of scheduling is less than 10 milliseconds for an average number
+// of 25 waiting jobs" — while the ILP takes hours. This bench measures
+// planSchedule() and a full self-tuning step (3 plans + metrics + decision)
+// over waiting-set sizes 5..200, plus the time-indexed model build.
+#include <benchmark/benchmark.h>
+
+#include "dynsched/core/dynp.hpp"
+#include "dynsched/core/planner.hpp"
+#include "dynsched/core/resource_profile.hpp"
+#include "dynsched/tip/tim_model.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/rng.hpp"
+
+using namespace dynsched;
+
+namespace {
+
+/// A waiting set + history resembling a busy CTC moment.
+struct Instance {
+  core::MachineHistory history = core::MachineHistory::empty({430}, 0);
+  std::vector<core::Job> waiting;
+};
+
+Instance makeInstance(std::size_t waitingJobs, std::uint64_t seed) {
+  Instance inst;
+  util::Rng rng(seed);
+  std::vector<core::RunningJob> running;
+  NodeCount busy = 0;
+  while (busy < 300) {
+    const NodeCount w = static_cast<NodeCount>(rng.uniformInt(1, 64));
+    if (busy + w > 400) break;
+    running.push_back(core::RunningJob{static_cast<JobId>(running.size() + 1),
+                                       w, rng.uniformInt(60, 14400)});
+    busy += w;
+  }
+  inst.history = core::MachineHistory::fromRunningJobs(core::Machine{430}, 0,
+                                                       running);
+  const auto swf = trace::ctcModel().generate(waitingJobs, seed + 1);
+  inst.waiting = core::fromSwf(swf);
+  for (auto& j : inst.waiting) j.submit = 0;  // all already waiting
+  return inst;
+}
+
+void BM_PlanSchedule(benchmark::State& state) {
+  const Instance inst =
+      makeInstance(static_cast<std::size_t>(state.range(0)), 77);
+  for (auto _ : state) {
+    core::Schedule s = core::planSchedule(inst.history, inst.waiting,
+                                          core::PolicyKind::Fcfs, 0);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " waiting jobs");
+}
+BENCHMARK(BM_PlanSchedule)->Arg(5)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SelfTuningStep(benchmark::State& state) {
+  const Instance inst =
+      makeInstance(static_cast<std::size_t>(state.range(0)), 78);
+  core::DynPScheduler scheduler(core::Machine{430}, core::DynPConfig{});
+  for (auto _ : state) {
+    core::SelfTuningResult r =
+        scheduler.selfTuningStep(inst.history, inst.waiting, 0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " waiting jobs");
+}
+BENCHMARK(BM_SelfTuningStep)->Arg(5)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_EasyBackfill(benchmark::State& state) {
+  const Instance inst =
+      makeInstance(static_cast<std::size_t>(state.range(0)), 79);
+  for (auto _ : state) {
+    core::Schedule s = core::planEasyBackfill(inst.history, inst.waiting, 0);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_EasyBackfill)->Arg(25)->Arg(100);
+
+void BM_BuildTimeIndexedModel(benchmark::State& state) {
+  const Instance inst =
+      makeInstance(static_cast<std::size_t>(state.range(0)), 80);
+  tip::TipInstance tipInst;
+  tipInst.history = inst.history;
+  tipInst.jobs = inst.waiting;
+  tipInst.now = 0;
+  Time horizon = 0;
+  for (const core::PolicyKind policy : core::kAllPolicies) {
+    horizon = std::max(
+        horizon,
+        core::planSchedule(inst.history, inst.waiting, policy, 0).makespan(0));
+  }
+  tipInst.horizon = horizon;
+  tipInst.timeScale = 300;
+  for (auto _ : state) {
+    const tip::Grid grid = tip::makeGrid(tipInst);
+    tip::TipModel model = tip::buildModel(tipInst, grid);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_BuildTimeIndexedModel)->Arg(10)->Arg(25);
+
+void BM_ResourceProfileEarliestFit(benchmark::State& state) {
+  const Instance inst = makeInstance(50, 81);
+  core::ResourceProfile profile(inst.history);
+  // Fragment the profile with many reservations first.
+  util::Rng rng(4);
+  for (int i = 0; i < state.range(0); ++i) {
+    const NodeCount w = static_cast<NodeCount>(rng.uniformInt(1, 32));
+    const Time d = rng.uniformInt(60, 7200);
+    const Time s = profile.earliestFit(0, d, w);
+    profile.reserve(s, d, w);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.earliestFit(0, 3600, 64));
+  }
+  state.SetLabel(std::to_string(profile.segmentCount()) + " segments");
+}
+BENCHMARK(BM_ResourceProfileEarliestFit)->Arg(50)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

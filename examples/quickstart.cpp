@@ -1,0 +1,95 @@
+// Quickstart: simulate a CTC-like workload on a 430-node machine under the
+// self-tuning dynP scheduler and compare it against the three fixed
+// policies and EASY backfilling.
+//
+//   ./quickstart --jobs 2000 --seed 42 --machine 430
+//   ./quickstart --trace /path/to/CTC-SP2-1996-3.1-cln.swf
+#include <cstdio>
+#include <iostream>
+
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/trace/filters.hpp"
+#include "dynsched/trace/stats.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/flags.hpp"
+#include "dynsched/util/table.hpp"
+#include "dynsched/util/timer.hpp"
+
+using namespace dynsched;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("quickstart");
+  auto& jobs = flags.addInt("jobs", 2000, "synthetic trace length");
+  auto& seed = flags.addInt("seed", 42, "generator seed");
+  auto& machine = flags.addInt("machine", 430, "machine size (nodes)");
+  auto& tracePath =
+      flags.addString("trace", "", "SWF trace file (empty = synthetic CTC)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  // 1. Obtain a workload: the bundled CTC-calibrated generator, or a real
+  //    SWF file from the Parallel Workloads Archive.
+  trace::SwfTrace swf;
+  if (tracePath.empty()) {
+    swf = trace::ctcModel().generate(static_cast<std::size_t>(jobs),
+                                     static_cast<std::uint64_t>(seed));
+  } else {
+    swf = trace::SwfTrace::parseFile(tracePath, /*lenient=*/true);
+    swf = trace::head(trace::normalize(swf), static_cast<std::size_t>(jobs));
+  }
+  trace::CleanReport cleanReport;
+  trace::CleanOptions cleanOptions;
+  cleanOptions.maxWidth = static_cast<NodeCount>(machine);
+  swf = trace::clean(swf, cleanOptions, &cleanReport);
+  std::cout << "Workload: " << cleanReport.kept << " jobs ("
+            << cleanReport.input - cleanReport.kept << " dropped)\n"
+            << trace::analyze(swf, static_cast<NodeCount>(machine)).summary()
+            << "\n\n";
+  const auto jobList = core::fromSwf(swf);
+  const core::Machine m{static_cast<NodeCount>(machine)};
+
+  // 2. Run every scheduler mode over the same trace.
+  util::TextTable table({"scheduler", "ART [s]", "AWT [s]", "SLD", "BSLD",
+                         "util", "switches", "sim time"});
+  table.setAlign(0, util::TextTable::Align::Left);
+  const auto addRow = [&](const std::string& name,
+                          const sim::SimulationReport& report) {
+    char art[32], awt[32], sld[32], bsld[32], util_[32];
+    std::snprintf(art, sizeof(art), "%.0f", report.avgResponseTime());
+    std::snprintf(awt, sizeof(awt), "%.0f", report.avgWaitTime());
+    std::snprintf(sld, sizeof(sld), "%.2f", report.avgSlowdown());
+    std::snprintf(bsld, sizeof(bsld), "%.2f", report.avgBoundedSlowdown());
+    std::snprintf(util_, sizeof(util_), "%.3f", report.utilization(m.nodes));
+    table.addRow({name, art, awt, sld, bsld, util_,
+                  std::to_string(report.switches.size()),
+                  util::formatDuration(report.wallSeconds)});
+  };
+
+  for (const core::PolicyKind policy : core::kAllPolicies) {
+    sim::SimOptions options;
+    options.kind = sim::SchedulerKind::FixedPolicy;
+    options.fixedPolicy = policy;
+    sim::RmsSimulator simulator(m, options);
+    addRow(core::policyName(policy), simulator.run(jobList));
+  }
+  {
+    sim::SimOptions options;
+    options.kind = sim::SchedulerKind::EasyBackfill;
+    sim::RmsSimulator simulator(m, options);
+    addRow("EASY", simulator.run(jobList));
+  }
+  {
+    sim::SimOptions options;
+    options.kind = sim::SchedulerKind::DynP;
+    sim::RmsSimulator simulator(m, options);
+    const auto report = simulator.run(jobList);
+    addRow("dynP (advanced)", report);
+    std::cout << "dynP chose FCFS/SJF/LJF "
+              << report.dynpStats.chosenCount[0] << "/"
+              << report.dynpStats.chosenCount[1] << "/"
+              << report.dynpStats.chosenCount[2] << " times over "
+              << report.dynpStats.steps << " self-tuning steps\n\n";
+  }
+
+  std::cout << table.render();
+  return 0;
+}

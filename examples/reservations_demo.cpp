@@ -1,0 +1,78 @@
+// Advance reservations in a planning-based RMS.
+//
+// The paper motivates planning-based scheduling with reservation requests
+// that need an immediate answer (Section 3). This demo admits reservation
+// requests against a live machine state — showing accepts and rejects — and
+// then simulates a workload around a maintenance window, comparing the
+// observed metrics with and without the window.
+#include <cstdio>
+#include <iostream>
+
+#include "dynsched/core/reservation.hpp"
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/flags.hpp"
+#include "dynsched/util/timer.hpp"
+
+using namespace dynsched;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("reservations_demo");
+  auto& jobs = flags.addInt("jobs", 500, "trace length");
+  auto& seed = flags.addInt("seed", 13, "workload seed");
+  if (!flags.parse(argc, argv)) return 0;
+  const core::Machine machine{430};
+
+  // Part 1: interactive-style admission against a busy machine.
+  const auto history = core::MachineHistory::fromRunningJobs(
+      machine, 0, {{1, 200, 3600}, {2, 100, 7200}});
+  core::ReservationBook book;
+  std::puts("admission against a machine running 300/430 nodes:");
+  struct Request {
+    core::Reservation r;
+    const char* what;
+  };
+  const Request requests[] = {
+      {{101, 1800, 3600, 120}, "120 nodes for 1 h starting at t=30 min"},
+      {{102, 1800, 3600, 200}, "200 nodes in the same window"},
+      {{103, 7200, 3600, 430}, "full machine after the running jobs end"},
+      {{104, 8000, 600, 1}, "1 node inside the full-machine window"},
+  };
+  for (const Request& req : requests) {
+    const bool ok = book.admit(history, req.r, 0);
+    std::printf("  request %lld (%s): %s\n",
+                static_cast<long long>(req.r.id), req.what,
+                ok ? "ACCEPTED" : "rejected");
+  }
+
+  // Part 2: simulate a workload around a maintenance window.
+  const auto swf = trace::ctcModel().generate(
+      static_cast<std::size_t>(jobs), static_cast<std::uint64_t>(seed));
+  const auto jobList = core::fromSwf(swf);
+  const Time windowStart = swf.jobs()[swf.jobs().size() / 3].submitTime;
+
+  sim::SimOptions plain;
+  plain.kind = sim::SchedulerKind::DynP;
+  sim::RmsSimulator base(machine, plain);
+  const auto baseReport = base.run(jobList);
+
+  sim::SimOptions withWindow = plain;
+  withWindow.reservations = {{9000, windowStart, 4 * 3600, 430}};
+  sim::RmsSimulator reserved(machine, withWindow);
+  const auto reservedReport = reserved.run(jobList);
+
+  std::printf(
+      "\nfull-machine maintenance window: [%s, +4h)\n"
+      "              %12s %12s\n"
+      "  ART [s]     %12.0f %12.0f\n"
+      "  AWT [s]     %12.0f %12.0f\n"
+      "  SLD         %12.2f %12.2f\n",
+      util::formatSimTime(windowStart).c_str(), "no window", "with window",
+      baseReport.avgResponseTime(), reservedReport.avgResponseTime(),
+      baseReport.avgWaitTime(), reservedReport.avgWaitTime(),
+      baseReport.avgSlowdown(), reservedReport.avgSlowdown());
+  std::puts(
+      "\njobs plan around the reserved rectangle; waits grow, but every\n"
+      "plan stays feasible and the reservation window is never touched.");
+  return 0;
+}

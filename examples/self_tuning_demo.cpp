@@ -1,0 +1,88 @@
+// Self-tuning dynP on a phase-shifting workload.
+//
+// The workload alternates between a short-sequential-job phase and a
+// wide-long-job phase (the paper's motivating scenario: "job characteristics
+// that permanently change"). The demo prints the policy-switch log of the
+// advanced decider and compares simple vs advanced deciders and the fixed
+// policies on the final metrics.
+#include <cstdio>
+#include <iostream>
+
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/flags.hpp"
+#include "dynsched/util/table.hpp"
+#include "dynsched/util/timer.hpp"
+
+using namespace dynsched;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("self_tuning_demo");
+  auto& phaseJobs = flags.addInt("phase-jobs", 400, "jobs per phase");
+  auto& phases = flags.addInt("phases", 4, "number of phases");
+  auto& seed = flags.addInt("seed", 3, "workload seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  std::vector<std::pair<trace::SyntheticModel, std::size_t>> plan;
+  for (int p = 0; p < phases; ++p) {
+    plan.emplace_back(p % 2 == 0 ? trace::shortJobModel()
+                                 : trace::longJobModel(),
+                      static_cast<std::size_t>(phaseJobs));
+  }
+  const auto swf =
+      trace::generatePhased(plan, static_cast<std::uint64_t>(seed));
+  const auto jobs = core::fromSwf(swf);
+  const core::Machine machine{430};
+  std::cout << "Phased workload: " << jobs.size() << " jobs, "
+            << phases << " phases (short/long alternating)\n\n";
+
+  util::TextTable table(
+      {"scheduler", "ART [s]", "SLD", "util", "switches", "steps"});
+  table.setAlign(0, util::TextTable::Align::Left);
+
+  sim::SimulationReport advancedReport;
+  for (const std::string decider : {"advanced", "simple"}) {
+    sim::SimOptions options;
+    options.kind = sim::SchedulerKind::DynP;
+    options.dynp.decider = decider;
+    sim::RmsSimulator simulator(machine, options);
+    const auto report = simulator.run(jobs);
+    if (decider == "advanced") advancedReport = report;
+    char art[32], sld[32], util_[32];
+    std::snprintf(art, sizeof(art), "%.0f", report.avgResponseTime());
+    std::snprintf(sld, sizeof(sld), "%.2f", report.avgSlowdown());
+    std::snprintf(util_, sizeof(util_), "%.3f",
+                  report.utilization(machine.nodes));
+    table.addRow({"dynP/" + decider, art, sld, util_,
+                  std::to_string(report.switches.size()),
+                  std::to_string(report.dynpStats.steps)});
+  }
+  for (const core::PolicyKind policy : core::kAllPolicies) {
+    sim::SimOptions options;
+    options.kind = sim::SchedulerKind::FixedPolicy;
+    options.fixedPolicy = policy;
+    sim::RmsSimulator simulator(machine, options);
+    const auto report = simulator.run(jobs);
+    char art[32], sld[32], util_[32];
+    std::snprintf(art, sizeof(art), "%.0f", report.avgResponseTime());
+    std::snprintf(sld, sizeof(sld), "%.2f", report.avgSlowdown());
+    std::snprintf(util_, sizeof(util_), "%.3f",
+                  report.utilization(machine.nodes));
+    table.addRow({core::policyName(policy), art, sld, util_, "0", "0"});
+  }
+  std::cout << table.render() << '\n';
+
+  std::cout << "Policy switches of dynP/advanced (first 20):\n";
+  std::size_t shown = 0;
+  for (const sim::PolicySwitch& s : advancedReport.switches) {
+    if (++shown > 20) {
+      std::cout << "  ... " << advancedReport.switches.size() - 20
+                << " more\n";
+      break;
+    }
+    std::cout << "  t=" << util::formatSimTime(s.time) << "  "
+              << core::policyName(s.from) << " -> " << core::policyName(s.to)
+              << '\n';
+  }
+  return 0;
+}

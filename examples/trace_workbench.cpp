@@ -1,0 +1,65 @@
+// Trace workbench: inspect, clean, slice and convert workloads.
+//
+//   ./trace_workbench --jobs 5000 --seed 1 --out /tmp/synthetic-ctc.swf
+//   ./trace_workbench --trace CTC-SP2-1996-3.1-cln.swf --head 10000
+//
+// Prints the workload statistics the CTC calibration targets are defined
+// over (DESIGN.md) and optionally writes the cleaned trace back to SWF.
+#include <iostream>
+
+#include "dynsched/trace/filters.hpp"
+#include "dynsched/trace/stats.hpp"
+#include "dynsched/trace/swf.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/flags.hpp"
+
+using namespace dynsched;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("trace_workbench");
+  auto& tracePath =
+      flags.addString("trace", "", "SWF input (empty = synthetic CTC)");
+  auto& model = flags.addString("model", "ctc",
+                                "synthetic model: ctc | short | long");
+  auto& jobs = flags.addInt("jobs", 5000, "synthetic job count");
+  auto& seed = flags.addInt("seed", 1, "synthetic seed");
+  auto& headCount = flags.addInt("head", 0, "keep only the first N jobs");
+  auto& arrivalScale =
+      flags.addDouble("arrival-scale", 1.0, "stretch/compress arrivals");
+  auto& outPath = flags.addString("out", "", "write cleaned trace to SWF");
+  if (!flags.parse(argc, argv)) return 0;
+
+  trace::SwfTrace swf;
+  if (!tracePath.empty()) {
+    swf = trace::SwfTrace::parseFile(tracePath, /*lenient=*/true);
+    std::cout << "Loaded " << swf.jobs().size() << " jobs ("
+              << swf.skippedLines() << " malformed lines skipped)\n";
+  } else {
+    const trace::SyntheticModel m = model == "short" ? trace::shortJobModel()
+                                    : model == "long" ? trace::longJobModel()
+                                                      : trace::ctcModel();
+    swf = m.generate(static_cast<std::size_t>(jobs),
+                     static_cast<std::uint64_t>(seed));
+    std::cout << "Generated " << swf.jobs().size() << " jobs from model '"
+              << m.name << "'\n";
+  }
+
+  swf = trace::normalize(swf);
+  if (headCount > 0) swf = trace::head(swf, static_cast<std::size_t>(headCount));
+  if (arrivalScale != 1.0) swf = trace::scaleArrivals(swf, arrivalScale);
+
+  trace::CleanReport report;
+  swf = trace::clean(swf, trace::CleanOptions{}, &report);
+  std::cout << "Cleaning: kept " << report.kept << "/" << report.input
+            << " (invalid " << report.droppedInvalid << ", cancelled "
+            << report.droppedCancelled << ", estimates raised "
+            << report.raisedEstimates << ")\n\n"
+            << trace::analyze(swf).summary() << '\n';
+
+  if (!outPath.empty()) {
+    swf.writeFile(outPath);
+    std::cout << "\nWrote " << swf.jobs().size() << " jobs to " << outPath
+              << '\n';
+  }
+  return 0;
+}

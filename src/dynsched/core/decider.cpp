@@ -1,0 +1,71 @@
+#include "dynsched/core/decider.hpp"
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/strings.hpp"
+
+namespace dynsched::core {
+
+PolicySet defaultPolicySet() {
+  return PolicySet(kAllPolicies.begin(), kAllPolicies.end());
+}
+
+std::size_t policyIndex(const PolicySet& policies, PolicyKind policy) {
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (policies[i] == policy) return i;
+  }
+  DYNSCHED_CHECK_MSG(false, "policy " << policyName(policy)
+                                      << " not in the active policy set");
+}
+
+double valueFor(const PolicySet& policies, const PolicyValues& values,
+                PolicyKind policy) {
+  DYNSCHED_CHECK(values.size() == policies.size());
+  return values[policyIndex(policies, policy)];
+}
+
+namespace {
+
+/// Index of the best value in set order (earlier policy wins ties).
+std::size_t bestIndex(const PolicyValues& values, bool lowerIsBetter) {
+  DYNSCHED_CHECK(!values.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const bool better =
+        lowerIsBetter ? values[i] < values[best] : values[i] > values[best];
+    if (better) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+PolicyKind SimpleDecider::decide(const PolicySet& policies,
+                                 const PolicyValues& values,
+                                 PolicyKind /*oldPolicy*/,
+                                 bool lowerIsBetter) const {
+  DYNSCHED_CHECK(values.size() == policies.size());
+  return policies[bestIndex(values, lowerIsBetter)];
+}
+
+PolicyKind AdvancedDecider::decide(const PolicySet& policies,
+                                   const PolicyValues& values,
+                                   PolicyKind oldPolicy,
+                                   bool lowerIsBetter) const {
+  DYNSCHED_CHECK(values.size() == policies.size());
+  const std::size_t best = bestIndex(values, lowerIsBetter);
+  // If the old policy achieves the same value as the winner, switching gains
+  // nothing — staying is the correct decision (the four cases of [14]).
+  if (values[policyIndex(policies, oldPolicy)] == values[best]) {
+    return oldPolicy;
+  }
+  return policies[best];
+}
+
+std::unique_ptr<Decider> makeDecider(const std::string& name) {
+  const std::string lower = util::toLower(name);
+  if (lower == "simple") return std::make_unique<SimpleDecider>();
+  if (lower == "advanced") return std::make_unique<AdvancedDecider>();
+  DYNSCHED_CHECK_MSG(false, "unknown decider '" << name << "'");
+}
+
+}  // namespace dynsched::core

@@ -1,0 +1,75 @@
+// Deciders: choosing the next policy from the per-policy metric values.
+//
+// The *simple* decider "basically consists of three if-then-else constructs"
+// and "chooses that policy which generates the minimum value" (paper
+// Section 2), with a fixed FCFS > SJF > LJF preference on ties. Its analysis
+// in [Streit 2002] found four tie cases where it switches although staying
+// with the old policy is correct — FCFS is wrongly favoured in three, SJF in
+// one. The *advanced* decider keeps the old policy in exactly those cases.
+//
+// Deciders operate on an arbitrary ordered policy set (the paper's fixed
+// {FCFS, SJF, LJF} is the default in DynPConfig); ties always resolve to the
+// earlier policy in that order, generalising the paper's preference chain.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynsched/core/metrics.hpp"
+#include "dynsched/core/policies.hpp"
+
+namespace dynsched::core {
+
+/// The policy set a self-tuning scheduler evaluates, in preference order.
+using PolicySet = std::vector<PolicyKind>;
+
+/// Per-policy metric values of one self-tuning step, indexed like the
+/// PolicySet they were computed for.
+using PolicyValues = std::vector<double>;
+
+/// The paper's CCS policy set.
+PolicySet defaultPolicySet();
+
+/// Index of `policy` within `policies`; throws if absent.
+std::size_t policyIndex(const PolicySet& policies, PolicyKind policy);
+
+double valueFor(const PolicySet& policies, const PolicyValues& values,
+                PolicyKind policy);
+
+/// Interface for the decision mechanism of a self-tuning step.
+class Decider {
+ public:
+  virtual ~Decider() = default;
+
+  /// Chooses the policy for the next interval. `values[i]` belongs to
+  /// `policies[i]`; `oldPolicy` is the currently active policy (must be in
+  /// the set); `lowerIsBetter` reflects the metric's direction.
+  virtual PolicyKind decide(const PolicySet& policies,
+                            const PolicyValues& values, PolicyKind oldPolicy,
+                            bool lowerIsBetter) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Three if-then-else constructs; ignores the old policy (ties resolve to
+/// the earlier policy in set order — FCFS, SJF, LJF for the default set).
+class SimpleDecider final : public Decider {
+ public:
+  PolicyKind decide(const PolicySet& policies, const PolicyValues& values,
+                    PolicyKind oldPolicy, bool lowerIsBetter) const override;
+  std::string name() const override { return "simple"; }
+};
+
+/// Like SimpleDecider, but when the old policy ties with the best value it
+/// stays with the old policy — fixing the simple decider's four wrong cases.
+class AdvancedDecider final : public Decider {
+ public:
+  PolicyKind decide(const PolicySet& policies, const PolicyValues& values,
+                    PolicyKind oldPolicy, bool lowerIsBetter) const override;
+  std::string name() const override { return "advanced"; }
+};
+
+std::unique_ptr<Decider> makeDecider(const std::string& name);
+
+}  // namespace dynsched::core

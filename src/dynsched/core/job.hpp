@@ -1,0 +1,59 @@
+// Job model used by the scheduler core.
+//
+// The paper (Section 3.1) describes a job i by three values: width w_i
+// (requested resources), estimated duration d_i, and submit time s_i. The
+// actual runtime is carried alongside because the discrete event simulation
+// needs it (jobs can finish earlier than estimated, triggering a replan).
+#pragma once
+
+#include <vector>
+
+#include "dynsched/trace/swf.hpp"
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/types.hpp"
+
+namespace dynsched::core {
+
+struct Job {
+  JobId id = -1;
+  Time submit = 0;       ///< s_i
+  NodeCount width = 1;   ///< w_i
+  Time estimate = 1;     ///< d_i — what the planner schedules with
+  Time actualRuntime = 1;  ///< what the simulator runs with (<= estimate)
+
+  /// Job area (width * estimated duration) — the SLDwA weight.
+  double area() const {
+    return static_cast<double>(width) * static_cast<double>(estimate);
+  }
+};
+
+/// Converts an SWF record; requires positive width and runtime (use
+/// trace::clean first on raw archive data).
+inline Job fromSwf(const trace::SwfJob& swf) {
+  Job job;
+  job.id = swf.jobNumber;
+  job.submit = swf.submitTime;
+  job.width = swf.width();
+  job.actualRuntime = swf.runTime;
+  job.estimate = swf.estimate();
+  DYNSCHED_CHECK_MSG(job.width > 0, "job " << job.id << " has no width");
+  DYNSCHED_CHECK_MSG(job.actualRuntime > 0,
+                     "job " << job.id << " has no runtime");
+  DYNSCHED_CHECK_MSG(job.estimate >= job.actualRuntime,
+                     "job " << job.id << " underestimated; clean the trace");
+  return job;
+}
+
+inline std::vector<Job> fromSwf(const trace::SwfTrace& trace) {
+  std::vector<Job> jobs;
+  jobs.reserve(trace.jobs().size());
+  for (const auto& swf : trace.jobs()) jobs.push_back(fromSwf(swf));
+  return jobs;
+}
+
+/// The machine: a homogeneous pool of `nodes` processors (CTC: 430).
+struct Machine {
+  NodeCount nodes = 0;
+};
+
+}  // namespace dynsched::core

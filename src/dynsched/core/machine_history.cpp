@@ -1,0 +1,79 @@
+#include "dynsched/core/machine_history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "dynsched/core/job.hpp"
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/timer.hpp"
+
+namespace dynsched::core {
+
+MachineHistory::MachineHistory(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  DYNSCHED_CHECK(!entries_.empty());
+}
+
+MachineHistory MachineHistory::empty(const Machine& machine, Time now) {
+  DYNSCHED_CHECK(machine.nodes > 0);
+  return MachineHistory({Entry{now, machine.nodes}});
+}
+
+MachineHistory MachineHistory::fromRunningJobs(
+    const Machine& machine, Time now, const std::vector<RunningJob>& running) {
+  DYNSCHED_CHECK(machine.nodes > 0);
+  // Aggregate released widths per estimated end time; "if more than one job
+  // ends at the same time, a single time stamp is sufficient" (paper §3.1).
+  std::map<Time, NodeCount> releases;
+  NodeCount busy = 0;
+  for (const RunningJob& r : running) {
+    DYNSCHED_CHECK_MSG(r.width > 0, "running job " << r.id << " has no width");
+    const Time end = std::max(r.estimatedEnd, now + 1);
+    releases[end] += r.width;
+    busy += r.width;
+  }
+  DYNSCHED_CHECK_MSG(busy <= machine.nodes,
+                     "running jobs occupy " << busy << " of " << machine.nodes
+                                            << " nodes");
+  std::vector<Entry> entries;
+  entries.reserve(releases.size() + 1);
+  NodeCount free = machine.nodes - busy;
+  entries.push_back(Entry{now, free});
+  for (const auto& [time, width] : releases) {
+    free += width;
+    entries.push_back(Entry{time, free});
+  }
+  return MachineHistory(std::move(entries));
+}
+
+NodeCount MachineHistory::freeAt(Time t) const {
+  DYNSCHED_CHECK_MSG(t >= startTime(),
+                     "query at " << t << " before history start "
+                                 << startTime());
+  // Last entry with time <= t.
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), t,
+      [](Time value, const Entry& e) { return value < e.time; });
+  return std::prev(it)->freeNodes;
+}
+
+bool MachineHistory::valid() const {
+  if (entries_.empty()) return false;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].time <= entries_[i - 1].time) return false;
+    if (entries_[i].freeNodes < entries_[i - 1].freeNodes) return false;
+  }
+  return entries_.back().freeNodes > 0;
+}
+
+std::string MachineHistory::toString() const {
+  std::ostringstream os;
+  for (const Entry& e : entries_) {
+    os << util::formatSimTime(e.time) << " (" << e.time << "s) -> "
+       << e.freeNodes << " free\n";
+  }
+  return os.str();
+}
+
+}  // namespace dynsched::core

@@ -1,0 +1,69 @@
+// Machine history: resources still held by already-running jobs.
+//
+// Paper Section 3.1 / Figure 1: "The history of resource usage is a list of
+// tuples. A tuple consists of a time stamp and the number of resources that
+// are free from that time on. ... The number of free resources are increasing
+// monotonously as only already running jobs are considered." The estimated
+// duration of running jobs generates the time stamps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynsched/util/types.hpp"
+
+namespace dynsched::core {
+
+struct Job;
+struct Machine;
+
+/// A running job as seen at a self-tuning step: it occupies `width` nodes
+/// until its estimated end time.
+struct RunningJob {
+  JobId id = -1;
+  NodeCount width = 1;
+  Time estimatedEnd = 0;  ///< start + estimate, absolute simulation time
+};
+
+class MachineHistory {
+ public:
+  /// One step of the free-resource staircase.
+  struct Entry {
+    Time time;            ///< resources are free from this time on
+    NodeCount freeNodes;  ///< total free nodes from `time`
+  };
+
+  /// Empty history: the whole machine is free from `now` on.
+  static MachineHistory empty(const Machine& machine, Time now);
+
+  /// Builds the tuple list from the running-job set at time `now`.
+  /// Running jobs whose estimated end is <= now are treated as ending at
+  /// now+1 (they overran their estimate but still hold nodes).
+  static MachineHistory fromRunningJobs(const Machine& machine, Time now,
+                                        const std::vector<RunningJob>& running);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  Time startTime() const { return entries_.front().time; }
+
+  /// Free nodes at absolute time t (t >= startTime()).
+  NodeCount freeAt(Time t) const;
+
+  /// Time from which the whole machine is free.
+  Time fullyFreeFrom() const { return entries_.back().time; }
+
+  NodeCount machineSize() const { return entries_.back().freeNodes; }
+
+  /// Invariant check: times strictly increasing, free counts monotonically
+  /// non-decreasing, last entry equals the machine size.
+  bool valid() const;
+
+  /// Renders the staircase, one "time -> free" line per entry (Figure 1).
+  std::string toString() const;
+
+ private:
+  explicit MachineHistory(std::vector<Entry> entries);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dynsched::core

@@ -1,0 +1,81 @@
+#include "dynsched/core/reservation.hpp"
+
+#include <algorithm>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::core {
+
+namespace {
+
+/// Clips a reservation to [now, inf); returns nullopt if fully in the past.
+std::optional<Reservation> clipToNow(const Reservation& r, Time now) {
+  DYNSCHED_CHECK_MSG(r.width > 0 && r.duration > 0,
+                     "reservation " << r.id << " is empty");
+  if (r.end() <= now) return std::nullopt;
+  Reservation clipped = r;
+  if (clipped.start < now) {
+    clipped.duration = clipped.end() - now;
+    clipped.start = now;
+  }
+  return clipped;
+}
+
+}  // namespace
+
+bool ReservationBook::canAdmit(const MachineHistory& history,
+                               const Reservation& request, Time now) const {
+  const auto clipped = clipToNow(request, now);
+  if (!clipped) return false;  // cannot reserve the past
+  if (clipped->width > history.machineSize()) return false;
+  ResourceProfile profile = profileWithReservations(history, *this, now);
+  return profile.fits(clipped->start, clipped->duration, clipped->width);
+}
+
+bool ReservationBook::admit(const MachineHistory& history,
+                            const Reservation& request, Time now) {
+  if (!canAdmit(history, request, now)) return false;
+  for (const Reservation& r : reservations_) {
+    DYNSCHED_CHECK_MSG(r.id != request.id,
+                       "duplicate reservation id " << request.id);
+  }
+  reservations_.push_back(request);
+  return true;
+}
+
+bool ReservationBook::cancel(JobId id) {
+  const auto it = std::find_if(
+      reservations_.begin(), reservations_.end(),
+      [id](const Reservation& r) { return r.id == id; });
+  if (it == reservations_.end()) return false;
+  reservations_.erase(it);
+  return true;
+}
+
+std::vector<Reservation> ReservationBook::activeAt(Time now) const {
+  std::vector<Reservation> active;
+  for (const Reservation& r : reservations_) {
+    if (const auto clipped = clipToNow(r, now)) active.push_back(*clipped);
+  }
+  return active;
+}
+
+void ReservationBook::applyTo(ResourceProfile& profile, Time now) const {
+  for (const Reservation& r : activeAt(now)) {
+    DYNSCHED_CHECK_MSG(
+        profile.fits(r.start, r.duration, r.width),
+        "admitted reservation " << r.id << " no longer fits the profile");
+    profile.reserve(r.start, r.duration, r.width);
+  }
+}
+
+ResourceProfile profileWithReservations(const MachineHistory& history,
+                                        const ReservationBook& book,
+                                        Time now) {
+  DYNSCHED_CHECK(history.startTime() <= now);
+  ResourceProfile profile(history);
+  book.applyTo(profile, now);
+  return profile;
+}
+
+}  // namespace dynsched::core

@@ -1,0 +1,72 @@
+// Advance reservations.
+//
+// The paper motivates fast replanning with reservations: "a request for a
+// reservation is submitted right after. An answer is expected immediately as
+// other reservation requests might depend on the acceptance of this request"
+// (Section 3; planning-based RMS per Hovestadt et al.). A reservation pins
+// `width` nodes to a fixed [start, start+duration) window; admitted
+// reservations reduce the capacity every plan must respect, and admission is
+// a pure capacity check against the machine history plus the already
+// admitted reservations — waiting jobs have no deadlines and simply plan
+// around the blocked rectangle.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynsched/core/machine_history.hpp"
+#include "dynsched/core/resource_profile.hpp"
+
+namespace dynsched::core {
+
+struct Reservation {
+  JobId id = -1;
+  Time start = 0;
+  Time duration = 0;
+  NodeCount width = 0;
+
+  Time end() const { return start + duration; }
+};
+
+/// Admission control and capacity bookkeeping for advance reservations.
+class ReservationBook {
+ public:
+  ReservationBook() = default;
+
+  const std::vector<Reservation>& reservations() const {
+    return reservations_;
+  }
+
+  /// Admission check at time `now`: does `request` fit the free capacity
+  /// left by the running jobs (`history`) and the already admitted
+  /// reservations? Does not mutate the book.
+  bool canAdmit(const MachineHistory& history, const Reservation& request,
+                Time now) const;
+
+  /// Admits the reservation; returns false (book unchanged) if it does not
+  /// fit. This is the "answer ... expected immediately" operation.
+  bool admit(const MachineHistory& history, const Reservation& request,
+             Time now);
+
+  /// Drops a reservation by id (cancellation). Returns false if unknown.
+  bool cancel(JobId id);
+
+  /// Reservations still (partially) in the future at time `now`.
+  std::vector<Reservation> activeAt(Time now) const;
+
+  /// Blocks all active reservations' rectangles in `profile` (which must
+  /// start at or before every active reservation's effective start).
+  void applyTo(ResourceProfile& profile, Time now) const;
+
+ private:
+  std::vector<Reservation> reservations_;
+};
+
+/// Profile of the free capacity at `now` given running jobs and admitted
+/// reservations — the starting point of every plan when reservations exist.
+ResourceProfile profileWithReservations(const MachineHistory& history,
+                                        const ReservationBook& book,
+                                        Time now);
+
+}  // namespace dynsched::core

@@ -1,0 +1,75 @@
+// Free-capacity step function over time — the single placement kernel.
+//
+// Every schedule in this library (policy planning, ILP-order compaction,
+// schedule validation) is built by reserving rectangles (start, duration,
+// width) in a ResourceProfile. The profile starts from a MachineHistory
+// (capacity already reduced by running jobs) and supports earliest-fit
+// queries: the first time >= readyTime at which `width` nodes are free for
+// `duration` contiguous seconds. Earliest-fit placement in policy order is
+// exactly the paper's planning-based scheduling with implicit backfilling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynsched/core/machine_history.hpp"
+#include "dynsched/util/types.hpp"
+
+namespace dynsched::core {
+
+class ResourceProfile {
+ public:
+  /// Profile with the free capacity described by `history`; beyond the last
+  /// history entry the whole machine is free indefinitely.
+  explicit ResourceProfile(const MachineHistory& history);
+
+  /// Convenience: fully free machine from `now`.
+  ResourceProfile(const Machine& machine, Time now);
+
+  Time startTime() const { return segments_.front().begin; }
+  NodeCount machineSize() const { return machineSize_; }
+
+  /// Free nodes at time t (t >= startTime()).
+  NodeCount freeAt(Time t) const;
+
+  /// Earliest start >= readyTime such that `width` nodes are free during
+  /// [start, start + duration). Always exists (capacity returns to full).
+  Time earliestFit(Time readyTime, Time duration, NodeCount width) const;
+
+  /// True iff `width` nodes are free during [start, start + duration).
+  bool fits(Time start, Time duration, NodeCount width) const;
+
+  /// Removes `width` nodes during [start, start + duration). The caller must
+  /// have verified feasibility (fits/earliestFit); violating capacity throws.
+  void reserve(Time start, Time duration, NodeCount width);
+
+  /// Number of internal segments (for tests / complexity checks).
+  std::size_t segmentCount() const { return segments_.size(); }
+
+  /// The staircase as history-style entries, merged where adjacent segments
+  /// have equal capacity.
+  std::vector<MachineHistory::Entry> steps() const;
+
+  std::string toString() const;
+
+ private:
+  /// Half-open segment [begin, end) with `freeNodes` free; the last segment
+  /// has end == kTimeInfinity.
+  struct Segment {
+    Time begin;
+    Time end;
+    NodeCount freeNodes;
+  };
+
+  /// Index of the segment containing time t.
+  std::size_t segmentAt(Time t) const;
+
+  /// Splits so that `t` is a segment boundary; returns the index of the
+  /// segment beginning at t.
+  std::size_t splitAt(Time t);
+
+  std::vector<Segment> segments_;
+  NodeCount machineSize_;
+};
+
+}  // namespace dynsched::core

@@ -1,0 +1,81 @@
+#include "dynsched/core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dynsched/core/resource_profile.hpp"
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::core {
+
+void Schedule::add(const Job& job, Time start, Time duration) {
+  DYNSCHED_CHECK_MSG(duration > 0, "job " << job.id << ": empty duration");
+  DYNSCHED_CHECK_MSG(start != kNoTime, "job " << job.id << ": no start time");
+  entries_.push_back(ScheduledJob{job, start, duration});
+}
+
+const ScheduledJob* Schedule::find(JobId id) const {
+  for (const ScheduledJob& e : entries_) {
+    if (e.job.id == id) return &e;
+  }
+  return nullptr;
+}
+
+Time Schedule::makespan(Time fallback) const {
+  Time result = fallback;
+  for (const ScheduledJob& e : entries_) result = std::max(result, e.end());
+  return result;
+}
+
+Time Schedule::earliestStart() const {
+  DYNSCHED_CHECK(!entries_.empty());
+  Time result = entries_.front().start;
+  for (const ScheduledJob& e : entries_) result = std::min(result, e.start);
+  return result;
+}
+
+std::optional<std::string> Schedule::validate(
+    const MachineHistory& history) const {
+  ResourceProfile profile(history);
+  // Replay placements in start order; reserve() throws on capacity overflow,
+  // which we translate into a validation message.
+  std::vector<const ScheduledJob*> order;
+  order.reserve(entries_.size());
+  for (const ScheduledJob& e : entries_) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const ScheduledJob* a, const ScheduledJob* b) {
+              return a->start < b->start;
+            });
+  for (const ScheduledJob* e : order) {
+    std::ostringstream os;
+    if (e->start < e->job.submit) {
+      os << "job " << e->job.id << " starts at " << e->start
+         << " before its submit time " << e->job.submit;
+      return os.str();
+    }
+    if (e->start < history.startTime()) {
+      os << "job " << e->job.id << " starts at " << e->start
+         << " before the history start " << history.startTime();
+      return os.str();
+    }
+    if (!profile.fits(e->start, e->duration, e->job.width)) {
+      os << "job " << e->job.id << " (width " << e->job.width
+         << ") overflows free capacity at [" << e->start << ", " << e->end()
+         << ")";
+      return os.str();
+    }
+    profile.reserve(e->start, e->duration, e->job.width);
+  }
+  return std::nullopt;
+}
+
+std::string Schedule::toString() const {
+  std::ostringstream os;
+  for (const ScheduledJob& e : entries_) {
+    os << "job " << e.job.id << " w=" << e.job.width << " submit="
+       << e.job.submit << " start=" << e.start << " end=" << e.end() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dynsched::core

@@ -1,0 +1,127 @@
+#include "dynsched/lp/basis.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::lp {
+
+DenseBasis::DenseBasis(int m) : m_(m) {
+  DYNSCHED_CHECK(m > 0);
+  inv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+              0.0);
+}
+
+bool DenseBasis::factorize(
+    const std::function<void(int, std::vector<double>&)>& writeColumn) {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  // Build B column by column, then run Gauss-Jordan with partial pivoting on
+  // the augmented [B | I], leaving B^{-1} in place of I.
+  std::vector<double> mat(m * m, 0.0);  // row-major B
+  std::vector<double> col(m, 0.0);
+  for (int k = 0; k < m_; ++k) {
+    std::fill(col.begin(), col.end(), 0.0);
+    writeColumn(k, col);
+    for (std::size_t i = 0; i < m; ++i) {
+      mat[i * m + static_cast<std::size_t>(k)] = col[i];
+    }
+  }
+  std::fill(inv_.begin(), inv_.end(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) inv_[i * m + i] = 1.0;
+
+  std::vector<int> rowOrder(m);
+  for (std::size_t i = 0; i < m; ++i) rowOrder[i] = static_cast<int>(i);
+
+  for (std::size_t k = 0; k < m; ++k) {
+    // Partial pivoting: largest |entry| in column k among remaining rows.
+    std::size_t pivotRow = k;
+    double best = std::fabs(mat[static_cast<std::size_t>(rowOrder[k]) * m + k]);
+    for (std::size_t i = k + 1; i < m; ++i) {
+      const double v =
+          std::fabs(mat[static_cast<std::size_t>(rowOrder[i]) * m + k]);
+      if (v > best) {
+        best = v;
+        pivotRow = i;
+      }
+    }
+    if (best < 1e-11) return false;  // singular
+    std::swap(rowOrder[k], rowOrder[pivotRow]);
+    const std::size_t pr = static_cast<std::size_t>(rowOrder[k]);
+    const double pivot = mat[pr * m + k];
+    const double invPivot = 1.0 / pivot;
+    for (std::size_t j = 0; j < m; ++j) {
+      mat[pr * m + j] *= invPivot;
+      inv_[pr * m + j] *= invPivot;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t ri = static_cast<std::size_t>(rowOrder[i]);
+      if (ri == pr) continue;
+      const double factor = mat[ri * m + k];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        mat[ri * m + j] -= factor * mat[pr * m + j];
+        inv_[ri * m + j] -= factor * inv_[pr * m + j];
+      }
+    }
+  }
+  // Undo the row permutation: after elimination, row rowOrder[k] holds the
+  // k-th row of B^{-1} (since we permuted implicitly). Rebuild in order.
+  std::vector<double> ordered(m * m);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::memcpy(&ordered[k * m], &inv_[static_cast<std::size_t>(rowOrder[k]) * m],
+                m * sizeof(double));
+  }
+  inv_.swap(ordered);
+  updates_ = 0;
+  return true;
+}
+
+void DenseBasis::ftran(std::vector<double>& rhs) const {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  DYNSCHED_CHECK(rhs.size() == m);
+  std::vector<double> out(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = &inv_[i * m];
+    double sum = 0;
+    for (std::size_t j = 0; j < m; ++j) sum += row[j] * rhs[j];
+    out[i] = sum;
+  }
+  rhs.swap(out);
+}
+
+void DenseBasis::btran(std::vector<double>& rhs) const {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  DYNSCHED_CHECK(rhs.size() == m);
+  std::vector<double> out(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double v = rhs[i];
+    if (v == 0.0) continue;
+    const double* row = &inv_[i * m];
+    for (std::size_t j = 0; j < m; ++j) out[j] += row[j] * v;
+  }
+  rhs.swap(out);
+}
+
+void DenseBasis::update(const std::vector<double>& alpha, int pos) {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  DYNSCHED_CHECK(alpha.size() == m);
+  const std::size_t p = static_cast<std::size_t>(pos);
+  const double pivot = alpha[p];
+  DYNSCHED_CHECK_MSG(std::fabs(pivot) > 1e-12, "pivot too small in update");
+  const double invPivot = 1.0 / pivot;
+  // E = I except column p: E[i][p] = -alpha_i/alpha_p, E[p][p] = 1/alpha_p.
+  // inv := E * inv — row p is scaled, every other row gets a multiple of it.
+  double* pivotRow = &inv_[p * m];
+  for (std::size_t j = 0; j < m; ++j) pivotRow[j] *= invPivot;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == p) continue;
+    const double factor = alpha[i];
+    if (factor == 0.0) continue;
+    double* row = &inv_[i * m];
+    for (std::size_t j = 0; j < m; ++j) row[j] -= factor * pivotRow[j];
+  }
+  ++updates_;
+}
+
+}  // namespace dynsched::lp

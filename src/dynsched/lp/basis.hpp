@@ -1,0 +1,46 @@
+// Dense explicit basis inverse for the revised simplex.
+//
+// The time-indexed instances have many columns but only (#jobs + #grid
+// points) rows, so an m×m dense inverse (m typically a few hundred) with
+// O(m²) product-form updates and periodic O(m³) refactorization is simple,
+// fast enough, and numerically transparent.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace dynsched::lp {
+
+class DenseBasis {
+ public:
+  explicit DenseBasis(int m);
+
+  int size() const { return m_; }
+
+  /// Rebuilds the inverse from scratch. `writeColumn(k, col)` must fill
+  /// `col` (size m, pre-zeroed) with the k-th basis column. Returns false if
+  /// the basis matrix is numerically singular.
+  bool factorize(
+      const std::function<void(int, std::vector<double>&)>& writeColumn);
+
+  /// rhs := B^{-1} rhs (forward transformation).
+  void ftran(std::vector<double>& rhs) const;
+
+  /// rhs := B^{-T} rhs (backward transformation).
+  void btran(std::vector<double>& rhs) const;
+
+  /// Product-form update after a pivot: basis column `pos` is replaced by
+  /// the column whose FTRAN image is `alpha` (so alpha = B^{-1} a_enter).
+  /// Requires |alpha[pos]| to be safely nonzero.
+  void update(const std::vector<double>& alpha, int pos);
+
+  /// Pivots applied since the last factorize().
+  int updatesSinceFactorize() const { return updates_; }
+
+ private:
+  int m_;
+  std::vector<double> inv_;  ///< row-major m×m
+  int updates_ = 0;
+};
+
+}  // namespace dynsched::lp

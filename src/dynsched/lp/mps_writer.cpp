@@ -1,0 +1,138 @@
+#include "dynsched/lp/mps_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::lp {
+
+namespace {
+
+std::string rowName(const LpModel& model, int r) {
+  if (!model.rowName(r).empty()) return model.rowName(r);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "R%06d", r);
+  return buf;
+}
+
+std::string colName(const LpModel& model, int j) {
+  if (!model.variableName(j).empty()) return model.variableName(j);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "C%06d", j);
+  return buf;
+}
+
+/// Row type and RHS/RANGES representation of a two-sided row.
+struct RowSpec {
+  char type;      // 'E', 'L', 'G', or 'N' (unconstrained)
+  double rhs;
+  bool hasRange;
+  double range;
+};
+
+RowSpec classify(double lo, double hi) {
+  const bool hasLo = lo > -kInf, hasHi = hi < kInf;
+  if (hasLo && hasHi) {
+    if (lo == hi) return {'E', lo, false, 0};
+    return {'L', hi, true, hi - lo};  // L row with RANGES entry
+  }
+  if (hasHi) return {'L', hi, false, 0};
+  if (hasLo) return {'G', lo, false, 0};
+  return {'N', 0, false, 0};
+}
+
+}  // namespace
+
+void writeMps(const LpModel& model, std::ostream& out,
+              const MpsOptions& options) {
+  DYNSCHED_CHECK(options.integerColumns.empty() ||
+                 options.integerColumns.size() ==
+                     static_cast<std::size_t>(model.numVariables()));
+  out << "NAME          " << options.problemName << '\n';
+  out << "ROWS\n";
+  out << " N  COST\n";
+  std::vector<RowSpec> specs;
+  specs.reserve(static_cast<std::size_t>(model.numRows()));
+  for (int r = 0; r < model.numRows(); ++r) {
+    const RowSpec spec = classify(model.rowLower(r), model.rowUpper(r));
+    specs.push_back(spec);
+    out << ' ' << spec.type << "  " << rowName(model, r) << '\n';
+  }
+
+  out << "COLUMNS\n";
+  bool inIntegerBlock = false;
+  int markerCount = 0;
+  const auto setIntegerBlock = [&](bool want) {
+    if (want == inIntegerBlock) return;
+    out << "    MARKER" << markerCount++ << "  'MARKER'  '"
+        << (want ? "INTORG" : "INTEND") << "'\n";
+    inIntegerBlock = want;
+  };
+  for (int j = 0; j < model.numVariables(); ++j) {
+    const bool isInt = !options.integerColumns.empty() &&
+                       options.integerColumns[static_cast<std::size_t>(j)];
+    setIntegerBlock(isInt);
+    const std::string name = colName(model, j);
+    if (model.objectiveCoef(j) != 0.0) {
+      out << "    " << name << "  COST  " << model.objectiveCoef(j) << '\n';
+    }
+    for (const ColumnEntry& e : model.column(j)) {
+      out << "    " << name << "  " << rowName(model, e.row) << "  "
+          << e.value << '\n';
+    }
+  }
+  setIntegerBlock(false);
+
+  out << "RHS\n";
+  for (int r = 0; r < model.numRows(); ++r) {
+    const RowSpec& spec = specs[static_cast<std::size_t>(r)];
+    if (spec.type == 'N' || spec.rhs == 0.0) continue;
+    out << "    RHS  " << rowName(model, r) << "  " << spec.rhs << '\n';
+  }
+  bool anyRange = false;
+  for (const RowSpec& spec : specs) anyRange |= spec.hasRange;
+  if (anyRange) {
+    out << "RANGES\n";
+    for (int r = 0; r < model.numRows(); ++r) {
+      const RowSpec& spec = specs[static_cast<std::size_t>(r)];
+      if (!spec.hasRange) continue;
+      out << "    RNG  " << rowName(model, r) << "  " << spec.range << '\n';
+    }
+  }
+
+  out << "BOUNDS\n";
+  for (int j = 0; j < model.numVariables(); ++j) {
+    const std::string name = colName(model, j);
+    const double lb = model.columnLower(j), ub = model.columnUpper(j);
+    if (lb <= -kInf && ub >= kInf) {
+      out << " FR BND  " << name << '\n';
+      continue;
+    }
+    if (lb == ub) {
+      out << " FX BND  " << name << "  " << lb << '\n';
+      continue;
+    }
+    // MPS default is [0, +inf): emit only deviations from it.
+    if (lb <= -kInf) {
+      out << " MI BND  " << name << '\n';
+    } else if (lb != 0.0) {
+      out << " LO BND  " << name << "  " << lb << '\n';
+    }
+    if (ub < kInf) {
+      out << " UP BND  " << name << "  " << ub << '\n';
+    }
+  }
+  out << "ENDATA\n";
+}
+
+void writeMpsFile(const LpModel& model, const std::string& path,
+                  const MpsOptions& options) {
+  std::ofstream out(path);
+  DYNSCHED_CHECK_MSG(out.good(), "cannot write MPS file '" << path << "'");
+  writeMps(model, out, options);
+}
+
+}  // namespace dynsched::lp

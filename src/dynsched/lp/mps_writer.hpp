@@ -1,0 +1,28 @@
+// MPS export: write any LpModel / MipModel instance in the de-facto
+// standard text format, so the time-indexed problems this library builds
+// can be fed to an external solver (CPLEX, CBC, HiGHS, ...) for independent
+// verification — the reverse of the paper's pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dynsched/lp/model.hpp"
+
+namespace dynsched::lp {
+
+struct MpsOptions {
+  std::string problemName = "DYNSCHED";
+  /// Marks these columns as integer (MARKER INTORG/INTEND sections).
+  std::vector<bool> integerColumns;
+};
+
+/// Writes fixed-form-compatible free MPS. Row/column names come from the
+/// model when present, else generated (R0001.., C0001..).
+void writeMps(const LpModel& model, std::ostream& out,
+              const MpsOptions& options = {});
+
+void writeMpsFile(const LpModel& model, const std::string& path,
+                  const MpsOptions& options = {});
+
+}  // namespace dynsched::lp

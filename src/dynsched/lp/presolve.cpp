@@ -1,0 +1,203 @@
+#include "dynsched/lp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::lp {
+
+namespace {
+
+/// Activity range of a row from the current variable bounds.
+struct ActivityRange {
+  double lo = 0;
+  double hi = 0;
+};
+
+}  // namespace
+
+PresolveResult presolve(const LpModel& model, double tol) {
+  const int n = model.numVariables();
+  const int m = model.numRows();
+
+  std::vector<bool> colAlive(static_cast<std::size_t>(n), true);
+  std::vector<bool> rowAlive(static_cast<std::size_t>(m), true);
+  std::vector<double> fixedValue(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> isFixed(static_cast<std::size_t>(n), false);
+  // Effective row bounds after substituting fixed variables.
+  std::vector<double> rowLo(static_cast<std::size_t>(m)),
+      rowHi(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    rowLo[static_cast<std::size_t>(r)] = model.rowLower(r);
+    rowHi[static_cast<std::size_t>(r)] = model.rowUpper(r);
+  }
+
+  PresolveResult result;
+
+  // Pass 1: fix variables with equal bounds; substitute into row bounds.
+  for (int j = 0; j < n; ++j) {
+    const double lb = model.columnLower(j), ub = model.columnUpper(j);
+    if (ub - lb <= tol) {
+      const double v = lb;
+      isFixed[static_cast<std::size_t>(j)] = true;
+      fixedValue[static_cast<std::size_t>(j)] = v;
+      colAlive[static_cast<std::size_t>(j)] = false;
+      for (const ColumnEntry& e : model.column(j)) {
+        if (rowLo[static_cast<std::size_t>(e.row)] > -kInf) {
+          rowLo[static_cast<std::size_t>(e.row)] -= e.value * v;
+        }
+        if (rowHi[static_cast<std::size_t>(e.row)] < kInf) {
+          rowHi[static_cast<std::size_t>(e.row)] -= e.value * v;
+        }
+      }
+    }
+  }
+
+  // Pass 2 (to fixed point): empty columns, empty rows, forcing rows.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Row activity ranges over alive columns.
+    std::vector<ActivityRange> range(static_cast<std::size_t>(m));
+    std::vector<int> rowEntries(static_cast<std::size_t>(m), 0);
+    for (int j = 0; j < n; ++j) {
+      if (!colAlive[static_cast<std::size_t>(j)]) continue;
+      const double lb = model.columnLower(j), ub = model.columnUpper(j);
+      for (const ColumnEntry& e : model.column(j)) {
+        if (!rowAlive[static_cast<std::size_t>(e.row)]) continue;
+        auto& rr = range[static_cast<std::size_t>(e.row)];
+        ++rowEntries[static_cast<std::size_t>(e.row)];
+        const double a = e.value * lb, b = e.value * ub;
+        rr.lo += std::min(a, b);
+        rr.hi += std::max(a, b);
+      }
+    }
+    for (int r = 0; r < m; ++r) {
+      const std::size_t sr = static_cast<std::size_t>(r);
+      if (!rowAlive[sr]) continue;
+      if (rowEntries[sr] == 0) {
+        // Empty row: feasibility depends on the substituted constants only.
+        if (rowLo[sr] > tol || rowHi[sr] < -tol) {
+          result.provenInfeasible = true;
+        }
+        rowAlive[sr] = false;
+        changed = true;
+        continue;
+      }
+      // Forcing/redundant row: activity range within bounds.
+      if (range[sr].lo >= rowLo[sr] - tol && range[sr].hi <= rowHi[sr] + tol) {
+        rowAlive[sr] = false;
+        changed = true;
+      }
+    }
+    // Empty columns go to the cheaper bound.
+    for (int j = 0; j < n; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (!colAlive[sj]) continue;
+      bool hasAliveEntry = false;
+      for (const ColumnEntry& e : model.column(j)) {
+        if (rowAlive[static_cast<std::size_t>(e.row)]) {
+          hasAliveEntry = true;
+          break;
+        }
+      }
+      if (hasAliveEntry) continue;
+      const double c = model.objectiveCoef(j);
+      const double lb = model.columnLower(j), ub = model.columnUpper(j);
+      double v;
+      if (c > 0) {
+        v = lb;
+      } else if (c < 0) {
+        v = ub;
+      } else {
+        v = lb > -kInf ? lb : std::min(ub, 0.0);
+      }
+      if (v <= -kInf || v >= kInf) {
+        // Unbounded free column: leave it to the simplex (keep alive).
+        continue;
+      }
+      colAlive[sj] = false;
+      isFixed[sj] = true;
+      fixedValue[sj] = v;
+      changed = true;
+    }
+  }
+
+  // Build the reduced model and the maps.
+  result.columnMap.assign(static_cast<std::size_t>(n), -1);
+  result.rowMap.assign(static_cast<std::size_t>(m), -1);
+  result.fixedValue = fixedValue;
+  for (int j = 0; j < n; ++j) {
+    if (!colAlive[static_cast<std::size_t>(j)]) {
+      ++result.removedColumns;
+      continue;
+    }
+    result.columnMap[static_cast<std::size_t>(j)] =
+        result.reduced.addVariable(model.columnLower(j), model.columnUpper(j),
+                                   model.objectiveCoef(j));
+  }
+  for (int r = 0; r < m; ++r) {
+    if (!rowAlive[static_cast<std::size_t>(r)]) {
+      ++result.removedRows;
+      continue;
+    }
+    result.rowMap[static_cast<std::size_t>(r)] = result.reduced.addRow(
+        rowLo[static_cast<std::size_t>(r)], rowHi[static_cast<std::size_t>(r)]);
+  }
+  for (int j = 0; j < n; ++j) {
+    const int col = result.columnMap[static_cast<std::size_t>(j)];
+    if (col < 0) continue;
+    for (const ColumnEntry& e : model.column(j)) {
+      const int row = result.rowMap[static_cast<std::size_t>(e.row)];
+      if (row < 0) continue;
+      result.reduced.addEntry(row, col, e.value);
+    }
+  }
+  return result;
+}
+
+std::vector<double> PresolveResult::restore(
+    const std::vector<double>& reducedX) const {
+  DYNSCHED_CHECK(reducedX.size() ==
+                 static_cast<std::size_t>(reduced.numVariables()));
+  std::vector<double> x(columnMap.size(), 0.0);
+  for (std::size_t j = 0; j < columnMap.size(); ++j) {
+    x[j] = columnMap[j] >= 0
+               ? reducedX[static_cast<std::size_t>(columnMap[j])]
+               : fixedValue[j];
+  }
+  return x;
+}
+
+LpSolution solvePresolved(const LpModel& model, const SimplexOptions& options) {
+  const PresolveResult pre = presolve(model);
+  LpSolution result;
+  if (pre.provenInfeasible) {
+    result.status = LpStatus::Infeasible;
+    return result;
+  }
+  if (pre.reduced.numVariables() == 0) {
+    // Everything fixed: evaluate directly.
+    result.x = pre.restore({});
+    if (!model.isFeasible(result.x, 1e-6)) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+    result.status = LpStatus::Optimal;
+    result.objective = model.objectiveValue(result.x);
+    result.rowActivity = model.rowActivity(result.x);
+    return result;
+  }
+  LpSolution reducedSolution = solveLp(pre.reduced, options);
+  result.status = reducedSolution.status;
+  result.iterations = reducedSolution.iterations;
+  result.refactorizations = reducedSolution.refactorizations;
+  if (result.status != LpStatus::Optimal) return result;
+  result.x = pre.restore(reducedSolution.x);
+  result.objective = model.objectiveValue(result.x);
+  result.rowActivity = model.rowActivity(result.x);
+  return result;
+}
+
+}  // namespace dynsched::lp

@@ -1,0 +1,46 @@
+// LP presolve: cheap reductions applied before the simplex.
+//
+// The time-indexed models carry obvious redundancy — fixed binaries from
+// branching, capacity rows whose bound can never bind, empty rows/columns.
+// Presolve removes them and maps the reduced solution back. Reductions:
+//   1. empty rows (no entries): feasibility check only;
+//   2. fixed variables (lb == ub): substituted into row activity bounds;
+//   3. forcing rows: if the row's activity range (from variable bounds)
+//      already lies inside the row bounds, the row is redundant;
+//   4. empty columns: set to their cheaper bound.
+// The reductions iterate to a fixed point.
+#pragma once
+
+#include <vector>
+
+#include "dynsched/lp/model.hpp"
+#include "dynsched/lp/simplex.hpp"
+
+namespace dynsched::lp {
+
+struct PresolveResult {
+  LpModel reduced;                 ///< the smaller model (may be empty)
+  bool provenInfeasible = false;   ///< detected before any simplex run
+  std::size_t removedRows = 0;
+  std::size_t removedColumns = 0;
+
+  /// Maps a solution of `reduced` back to the original variable space.
+  std::vector<double> restore(const std::vector<double>& reducedX) const;
+
+  // Internal mapping (exposed for tests): original column -> reduced column
+  // or -1 with `fixedValue` holding the substituted value.
+  std::vector<int> columnMap;
+  std::vector<double> fixedValue;
+  std::vector<int> rowMap;  ///< original row -> reduced row or -1
+};
+
+/// Applies the reductions. The input model is not modified.
+PresolveResult presolve(const LpModel& model, double tol = 1e-9);
+
+/// Convenience: presolve + simplex + restore. Status semantics match
+/// solveLp; `x`/`rowActivity` are in the ORIGINAL space (duals are not
+/// restored — they refer to the reduced model and are left empty).
+LpSolution solvePresolved(const LpModel& model,
+                          const SimplexOptions& options = {});
+
+}  // namespace dynsched::lp

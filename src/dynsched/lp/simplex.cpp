@@ -1,0 +1,484 @@
+#include "dynsched/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dynsched/lp/basis.hpp"
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/logging.hpp"
+
+namespace dynsched::lp {
+
+const char* lpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::Optimal: return "optimal";
+    case LpStatus::Infeasible: return "infeasible";
+    case LpStatus::Unbounded: return "unbounded";
+    case LpStatus::IterationLimit: return "iteration-limit";
+    case LpStatus::NumericalFailure: return "numerical-failure";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class VarStatus : std::uint8_t { Basic, AtLower, AtUpper, Free };
+
+/// Bounded-variable primal simplex with a classical two-phase start.
+///
+/// Variable layout: [0, n) structural, [n, n+m) row slacks with the
+/// convention A x − s = 0 (slack column −e_r, bounds = row bounds),
+/// [n+m, n+m+m) one artificial per row. Artificials have column ±e_r signed
+/// so their initial basic value is non-negative; phase 1 minimizes their sum
+/// with every basis primal feasible, so a single standard ratio test serves
+/// both phases (no piecewise-linear composite machinery, which can stall at
+/// coordinate-stationary points).
+class Simplex {
+ public:
+  Simplex(const LpModel& model, const SimplexOptions& options)
+      : model_(model),
+        opts_(options),
+        n_(model.numVariables()),
+        m_(model.numRows()),
+        total_(n_ + 2 * model.numRows()),
+        basis_(std::max(1, model.numRows())) {}
+
+  LpSolution solve();
+
+ private:
+  bool isSlack(int var) const { return var >= n_ && var < n_ + m_; }
+  bool isArtificial(int var) const { return var >= n_ + m_; }
+  int rowOf(int var) const {
+    return isSlack(var) ? var - n_ : var - n_ - m_;
+  }
+
+  double lower(int var) const {
+    if (var < n_) return model_.columnLower(var);
+    if (isSlack(var)) return model_.rowLower(rowOf(var));
+    return artificialLb_[static_cast<std::size_t>(rowOf(var))];
+  }
+  double upper(int var) const {
+    if (var < n_) return model_.columnUpper(var);
+    if (isSlack(var)) return model_.rowUpper(rowOf(var));
+    return artificialUb_[static_cast<std::size_t>(rowOf(var))];
+  }
+  double cost(int var, bool phase1) const {
+    if (phase1) return isArtificial(var) ? 1.0 : 0.0;
+    return var < n_ ? model_.objectiveCoef(var) : 0.0;
+  }
+
+  /// Writes the dense constraint column of `var` into `out` (pre-zeroed).
+  void writeColumn(int var, std::vector<double>& out) const {
+    if (var < n_) {
+      for (const ColumnEntry& e : model_.column(var)) {
+        out[static_cast<std::size_t>(e.row)] += e.value;
+      }
+    } else if (isSlack(var)) {
+      out[static_cast<std::size_t>(rowOf(var))] -= 1.0;
+    } else {
+      const int r = rowOf(var);
+      out[static_cast<std::size_t>(r)] +=
+          artificialSign_[static_cast<std::size_t>(r)];
+    }
+  }
+
+  double dotColumn(int var, const std::vector<double>& y) const {
+    if (var < n_) {
+      double sum = 0;
+      for (const ColumnEntry& e : model_.column(var)) {
+        sum += y[static_cast<std::size_t>(e.row)] * e.value;
+      }
+      return sum;
+    }
+    if (isSlack(var)) return -y[static_cast<std::size_t>(rowOf(var))];
+    const int r = rowOf(var);
+    return y[static_cast<std::size_t>(r)] *
+           artificialSign_[static_cast<std::size_t>(r)];
+  }
+
+  double nonbasicValue(int var) const {
+    switch (status_[static_cast<std::size_t>(var)]) {
+      case VarStatus::AtLower: return lower(var);
+      case VarStatus::AtUpper: return upper(var);
+      case VarStatus::Free: return 0.0;
+      case VarStatus::Basic: break;
+    }
+    DYNSCHED_CHECK(false);
+  }
+
+  bool refactorize();
+  void computeBasicValues();
+  double phaseObjective(bool phase1) const;
+
+  const LpModel& model_;
+  SimplexOptions opts_;
+  int n_, m_, total_;
+  DenseBasis basis_;
+
+  std::vector<VarStatus> status_;
+  std::vector<int> basisVars_;
+  std::vector<double> xBasic_;
+  std::vector<double> artificialSign_;  ///< per row: +1 / −1
+  std::vector<double> artificialLb_, artificialUb_;
+  long refactorCount_ = 0;
+};
+
+bool Simplex::refactorize() {
+  const bool ok = basis_.factorize([this](int k, std::vector<double>& col) {
+    writeColumn(basisVars_[static_cast<std::size_t>(k)], col);
+  });
+  if (ok) ++refactorCount_;
+  return ok;
+}
+
+void Simplex::computeBasicValues() {
+  // b = 0, so xB = −B^{-1} · Σ_{nonbasic j} A_j x_j.
+  std::vector<double> rhs(static_cast<std::size_t>(m_), 0.0);
+  for (int var = 0; var < total_; ++var) {
+    if (status_[static_cast<std::size_t>(var)] == VarStatus::Basic) continue;
+    const double value = nonbasicValue(var);
+    if (value == 0.0) continue;
+    if (var < n_) {
+      for (const ColumnEntry& e : model_.column(var)) {
+        rhs[static_cast<std::size_t>(e.row)] -= e.value * value;
+      }
+    } else if (isSlack(var)) {
+      rhs[static_cast<std::size_t>(rowOf(var))] += value;
+    } else {
+      const int r = rowOf(var);
+      rhs[static_cast<std::size_t>(r)] -=
+          artificialSign_[static_cast<std::size_t>(r)] * value;
+    }
+  }
+  basis_.ftran(rhs);
+  xBasic_ = rhs;
+}
+
+double Simplex::phaseObjective(bool phase1) const {
+  double total = 0;
+  for (int i = 0; i < m_; ++i) {
+    total += cost(basisVars_[static_cast<std::size_t>(i)], phase1) *
+             xBasic_[static_cast<std::size_t>(i)];
+  }
+  if (!phase1) {
+    for (int var = 0; var < n_; ++var) {
+      if (status_[static_cast<std::size_t>(var)] != VarStatus::Basic) {
+        total += cost(var, false) * nonbasicValue(var);
+      }
+    }
+  }
+  return total;
+}
+
+LpSolution Simplex::solve() {
+  LpSolution result;
+  if (m_ == 0) {
+    // No constraints: every variable sits at its cheaper bound.
+    result.x.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const double c = model_.objectiveCoef(j);
+      const double l = model_.columnLower(j), u = model_.columnUpper(j);
+      double v;
+      if (c > 0) {
+        v = l;
+      } else if (c < 0) {
+        v = u;
+      } else {
+        v = (l > -kInf) ? l : std::min(u, 0.0);
+      }
+      if (v <= -kInf || v >= kInf) {
+        result.status = LpStatus::Unbounded;
+        return result;
+      }
+      result.x[static_cast<std::size_t>(j)] = v;
+    }
+    result.status = LpStatus::Optimal;
+    result.objective = model_.objectiveValue(result.x);
+    return result;
+  }
+
+  // --- Crash basis ------------------------------------------------------
+  // Structural variables start at a finite bound (or free at 0). For each
+  // row, if the resulting activity fits the row bounds, the slack itself is
+  // basic and feasible; otherwise the slack sits at its nearest bound and a
+  // signed artificial carries the (non-negative) residual.
+  status_.assign(static_cast<std::size_t>(total_), VarStatus::AtLower);
+  for (int j = 0; j < n_; ++j) {
+    if (model_.columnLower(j) > -kInf) {
+      status_[static_cast<std::size_t>(j)] = VarStatus::AtLower;
+    } else if (model_.columnUpper(j) < kInf) {
+      status_[static_cast<std::size_t>(j)] = VarStatus::AtUpper;
+    } else {
+      status_[static_cast<std::size_t>(j)] = VarStatus::Free;
+    }
+  }
+  std::vector<double> activity(static_cast<std::size_t>(m_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const double v = status_[static_cast<std::size_t>(j)] == VarStatus::Free
+                         ? 0.0
+                         : nonbasicValue(j);
+    if (v == 0.0) continue;
+    for (const ColumnEntry& e : model_.column(j)) {
+      activity[static_cast<std::size_t>(e.row)] += e.value * v;
+    }
+  }
+  basisVars_.resize(static_cast<std::size_t>(m_));
+  artificialSign_.assign(static_cast<std::size_t>(m_), 1.0);
+  artificialLb_.assign(static_cast<std::size_t>(m_), 0.0);
+  artificialUb_.assign(static_cast<std::size_t>(m_), 0.0);
+  bool needPhase1 = false;
+  for (int r = 0; r < m_; ++r) {
+    const std::size_t sr = static_cast<std::size_t>(r);
+    const int slackVar = n_ + r;
+    const int artVar = n_ + m_ + r;
+    const double act = activity[sr];
+    const double lb = model_.rowLower(r), ub = model_.rowUpper(r);
+    if (act >= lb && act <= ub) {
+      basisVars_[sr] = slackVar;
+      status_[static_cast<std::size_t>(slackVar)] = VarStatus::Basic;
+      status_[static_cast<std::size_t>(artVar)] = VarStatus::AtLower;
+      // artificial stays fixed at 0
+    } else {
+      // Slack pinned to its nearest bound; artificial absorbs the residual.
+      const double pin = act < lb ? lb : ub;
+      status_[static_cast<std::size_t>(slackVar)] =
+          act < lb ? VarStatus::AtLower : VarStatus::AtUpper;
+      // Row equation: A x − s ± a = 0  =>  a = ∓(A x − s) = ∓(act − pin).
+      const double residual = act - pin;
+      artificialSign_[sr] = residual > 0 ? -1.0 : 1.0;
+      artificialUb_[sr] = kInf;
+      basisVars_[sr] = artVar;
+      status_[static_cast<std::size_t>(artVar)] = VarStatus::Basic;
+      needPhase1 = true;
+    }
+  }
+  if (!refactorize()) {
+    result.status = LpStatus::NumericalFailure;
+    return result;
+  }
+  computeBasicValues();
+
+  const double otol = opts_.optimalityTol;
+  std::vector<double> y(static_cast<std::size_t>(m_));
+  std::vector<double> alpha(static_cast<std::size_t>(m_));
+  int degenerateRun = 0;
+  bool bland = false;
+  bool phase1 = needPhase1;
+  bool hitIterationLimit = true;
+
+  for (long iter = 0; iter < opts_.maxIterations; ++iter) {
+    result.iterations = iter;
+    if (basis_.updatesSinceFactorize() >= opts_.refactorInterval) {
+      if (!refactorize()) {
+        result.status = LpStatus::NumericalFailure;
+        return result;
+      }
+      computeBasicValues();
+    }
+
+    // Phase transition: all artificial mass driven to ~0.
+    if (phase1 && phaseObjective(true) <= opts_.feasibilityTol) {
+      phase1 = false;
+      // Freeze artificials at zero so they can never re-enter.
+      for (int r = 0; r < m_; ++r) artificialUb_[static_cast<std::size_t>(r)] = 0.0;
+      degenerateRun = 0;
+      bland = false;
+    }
+
+    // Pricing vector y = B^{-T} c_B for the current phase's costs.
+    for (int i = 0; i < m_; ++i) {
+      y[static_cast<std::size_t>(i)] =
+          cost(basisVars_[static_cast<std::size_t>(i)], phase1);
+    }
+    basis_.btran(y);
+
+    int entering = -1;
+    int enterDir = 0;
+    double bestScore = otol;
+    for (int var = 0; var < total_; ++var) {
+      const VarStatus st = status_[static_cast<std::size_t>(var)];
+      if (st == VarStatus::Basic) continue;
+      if (isArtificial(var)) continue;  // artificials never re-enter
+      const double l = lower(var), u = upper(var);
+      if (l == u) continue;  // fixed variables never enter
+      const double rc = cost(var, phase1) - dotColumn(var, y);
+      int dir = 0;
+      if ((st == VarStatus::AtLower || st == VarStatus::Free) && rc < -otol) {
+        dir = +1;
+      } else if ((st == VarStatus::AtUpper || st == VarStatus::Free) &&
+                 rc > otol) {
+        dir = -1;
+      }
+      if (dir == 0) continue;
+      if (bland) {
+        entering = var;
+        enterDir = dir;
+        break;
+      }
+      const double score = std::fabs(rc);
+      if (score > bestScore) {
+        bestScore = score;
+        entering = var;
+        enterDir = dir;
+      }
+    }
+
+    if (entering < 0) {
+      if (phase1) {
+        // Phase-1 optimum with residual artificial mass: infeasible.
+        result.status = phaseObjective(true) > opts_.feasibilityTol
+                            ? LpStatus::Infeasible
+                            : LpStatus::Optimal;
+        if (result.status == LpStatus::Infeasible) return result;
+        // Degenerate corner: feasible but phase flag not yet flipped.
+        phase1 = false;
+        for (int r = 0; r < m_; ++r)
+          artificialUb_[static_cast<std::size_t>(r)] = 0.0;
+        continue;
+      }
+      hitIterationLimit = false;
+      break;  // optimal
+    }
+
+    std::fill(alpha.begin(), alpha.end(), 0.0);
+    writeColumn(entering, alpha);
+    basis_.ftran(alpha);
+
+    // Ratio test: all basics are feasible; each blocks at the bound it
+    // approaches. delta_i = −enterDir·α_i is the basic's change per unit t.
+    double tMax = kInf;
+    int leavingPos = -1;
+    double leavingTarget = 0;
+    double bestPivotMag = 0;
+    for (int i = 0; i < m_; ++i) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      if (std::fabs(a) < opts_.pivotTol) continue;
+      const double delta = -static_cast<double>(enterDir) * a;
+      const int var = basisVars_[static_cast<std::size_t>(i)];
+      const double v = xBasic_[static_cast<std::size_t>(i)];
+      double target;
+      if (delta > 0) {
+        target = upper(var);
+        if (target >= kInf) continue;
+      } else {
+        target = lower(var);
+        if (target <= -kInf) continue;
+      }
+      const double ratio = std::max(0.0, (target - v) / delta);
+      const double mag = std::fabs(a);
+      // Ties: Bland's rule needs the smallest variable index to leave
+      // (anti-cycling requires BOTH the entering and leaving rule); outside
+      // Bland mode prefer the largest pivot for numerical stability.
+      bool take = ratio < tMax - 1e-12;
+      if (!take && ratio < tMax + 1e-12 && leavingPos >= 0) {
+        take = bland
+                   ? var < basisVars_[static_cast<std::size_t>(leavingPos)]
+                   : mag > bestPivotMag;
+      }
+      if (take) {
+        tMax = ratio;
+        leavingPos = i;
+        leavingTarget = target;
+        bestPivotMag = mag;
+      }
+    }
+
+    // Bound flip of the entering variable itself.
+    const bool flipPossible =
+        lower(entering) > -kInf && upper(entering) < kInf;
+    const double span = upper(entering) - lower(entering);
+    if (flipPossible && span < tMax) {
+      for (int i = 0; i < m_; ++i) {
+        const double a = alpha[static_cast<std::size_t>(i)];
+        if (a == 0.0) continue;
+        xBasic_[static_cast<std::size_t>(i)] -=
+            static_cast<double>(enterDir) * a * span;
+      }
+      status_[static_cast<std::size_t>(entering)] =
+          enterDir > 0 ? VarStatus::AtUpper : VarStatus::AtLower;
+      degenerateRun = 0;
+      bland = false;
+      continue;
+    }
+
+    if (leavingPos < 0) {
+      // No blocking basic and no bound flip: a ray. In phase 1 the
+      // objective (Σ artificials ≥ 0) is bounded, so a ray means numerics.
+      result.status =
+          phase1 ? LpStatus::NumericalFailure : LpStatus::Unbounded;
+      return result;
+    }
+
+    const double t = tMax;
+    for (int i = 0; i < m_; ++i) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      if (a == 0.0) continue;
+      xBasic_[static_cast<std::size_t>(i)] -=
+          static_cast<double>(enterDir) * a * t;
+    }
+    const int leavingVar = basisVars_[static_cast<std::size_t>(leavingPos)];
+    const double enterStart = nonbasicValue(entering);
+    xBasic_[static_cast<std::size_t>(leavingPos)] =
+        enterStart + static_cast<double>(enterDir) * t;
+    basisVars_[static_cast<std::size_t>(leavingPos)] = entering;
+    status_[static_cast<std::size_t>(entering)] = VarStatus::Basic;
+    status_[static_cast<std::size_t>(leavingVar)] =
+        (leavingTarget == lower(leavingVar)) ? VarStatus::AtLower
+                                             : VarStatus::AtUpper;
+    basis_.update(alpha, leavingPos);
+
+    if (t < 1e-10) {
+      if (++degenerateRun > opts_.blandThreshold) bland = true;
+    } else {
+      degenerateRun = 0;
+      bland = false;
+    }
+  }
+
+  if (hitIterationLimit) {
+    result.status = LpStatus::IterationLimit;
+    return result;
+  }
+
+  // Optimal: refactorize once more for clean values and duals.
+  if (!refactorize()) {
+    result.status = LpStatus::NumericalFailure;
+    return result;
+  }
+  computeBasicValues();
+
+  std::vector<double> x(static_cast<std::size_t>(total_), 0.0);
+  for (int var = 0; var < total_; ++var) {
+    if (status_[static_cast<std::size_t>(var)] != VarStatus::Basic) {
+      x[static_cast<std::size_t>(var)] = nonbasicValue(var);
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    x[static_cast<std::size_t>(basisVars_[static_cast<std::size_t>(i)])] =
+        xBasic_[static_cast<std::size_t>(i)];
+  }
+  result.x.assign(x.begin(), x.begin() + n_);
+  // Slack values equal the row activities (A x − s = 0), but recompute
+  // activities from x so tiny basic drift cannot desynchronize them.
+  result.rowActivity = model_.rowActivity(result.x);
+  result.objective = model_.objectiveValue(result.x);
+
+  for (int i = 0; i < m_; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        cost(basisVars_[static_cast<std::size_t>(i)], /*phase1=*/false);
+  }
+  basis_.btran(y);
+  result.duals = y;
+  result.refactorizations = refactorCount_;
+  result.status = LpStatus::Optimal;
+  return result;
+}
+
+}  // namespace
+
+LpSolution solveLp(const LpModel& model, const SimplexOptions& options) {
+  Simplex solver(model, options);
+  return solver.solve();
+}
+
+}  // namespace dynsched::lp

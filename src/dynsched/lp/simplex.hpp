@@ -1,0 +1,54 @@
+// Bounded-variable primal simplex (revised form, dense basis inverse).
+//
+// Handles general range rows and variable bounds. Infeasibility is resolved
+// by a composite phase 1 (minimize the sum of basic bound violations) that
+// needs no artificial variables: the slack basis is always a valid start,
+// and the same pivoting machinery drives both phases. Degeneracy falls back
+// to Bland's rule after a run of non-improving pivots.
+//
+// This solver plays the role of the LP engine inside the branch-and-bound
+// "CPLEX substitute" (dynsched::mip); see DESIGN.md, substitutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynsched/lp/model.hpp"
+
+namespace dynsched::lp {
+
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  NumericalFailure,
+};
+
+const char* lpStatusName(LpStatus status);
+
+struct LpSolution {
+  LpStatus status = LpStatus::NumericalFailure;
+  double objective = 0;
+  std::vector<double> x;            ///< structural variable values
+  std::vector<double> rowActivity;  ///< A x per row
+  std::vector<double> duals;        ///< dual values per row (phase-2 y)
+  long iterations = 0;
+  long refactorizations = 0;
+
+  bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+struct SimplexOptions {
+  long maxIterations = 200000;
+  double feasibilityTol = 1e-7;   ///< bound violation tolerance
+  double optimalityTol = 1e-7;    ///< reduced-cost tolerance
+  double pivotTol = 1e-8;         ///< smallest acceptable |pivot|
+  int refactorInterval = 120;     ///< pivots between refactorizations
+  int blandThreshold = 60;        ///< degenerate pivots before Bland's rule
+};
+
+/// Solves `model` (minimization). The model is not modified.
+LpSolution solveLp(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace dynsched::lp

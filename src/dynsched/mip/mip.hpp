@@ -1,0 +1,94 @@
+// Mixed-integer programming by LP-based branch & bound.
+//
+// This module is the stand-in for ILOG CPLEX in the reproduction (DESIGN.md,
+// substitutions): it minimizes a MipModel exactly — or to a proven relative
+// gap / within node+time limits — using the bounded simplex of dynsched::lp
+// for node relaxations, best-first node selection with most-fractional
+// branching, an optional problem-specific rounding heuristic, and an
+// optional warm-start incumbent (the paper's policy schedules are natural
+// incumbents for the time-indexed instances).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynsched/lp/simplex.hpp"
+
+namespace dynsched::mip {
+
+struct MipModel {
+  lp::LpModel lp;
+  std::vector<bool> integer;  ///< per column; true = integrality required
+
+  /// Adds an integer variable to `lp` and marks it.
+  int addIntegerVariable(double lb, double ub, double objective,
+                         std::string name = {});
+  /// Adds a continuous variable.
+  int addContinuousVariable(double lb, double ub, double objective,
+                            std::string name = {});
+};
+
+enum class MipStatus {
+  Optimal,          ///< incumbent proven optimal (within gap tolerance)
+  FeasibleLimit,    ///< limits hit; incumbent available with a gap
+  Infeasible,       ///< no integer-feasible point exists
+  NoSolutionLimit,  ///< limits hit before any incumbent was found
+  Error,            ///< LP numerical failure
+};
+
+const char* mipStatusName(MipStatus status);
+
+struct MipResult {
+  MipStatus status = MipStatus::Error;
+  double objective = 0;      ///< incumbent objective (valid unless NoSolution*)
+  std::vector<double> x;     ///< incumbent point
+  double bestBound = -lp::kInf;
+  long nodes = 0;
+  long lpIterations = 0;
+  long heuristicSolutions = 0;
+  double seconds = 0;
+
+  bool hasSolution() const {
+    return status == MipStatus::Optimal || status == MipStatus::FeasibleLimit;
+  }
+  /// Relative optimality gap (0 when proven optimal; inf with no incumbent).
+  double gap() const;
+};
+
+struct MipOptions {
+  long maxNodes = 200000;
+  double timeLimitSeconds = 300.0;
+  double relGapTol = 1e-6;       ///< stop when gap() <= this
+  double integralityTol = 1e-6;
+  /// Objective value of every integer point is an integer (true for the
+  /// time-indexed model, whose costs are integral); lets bounds round up.
+  bool objectiveIsIntegral = false;
+  lp::SimplexOptions lpOptions;
+  /// Called with each node's fractional LP point; may return an integer
+  /// feasible candidate (it is validated before acceptance).
+  std::function<std::optional<std::vector<double>>(
+      const std::vector<double>&)>
+      roundingHeuristic;
+  /// Starting incumbent (validated; ignored if infeasible).
+  std::optional<std::vector<double>> warmStart;
+  /// Rounds of knapsack cover-cut separation at the root node (0 disables).
+  /// Applies to pure "<=" rows over binary columns with positive
+  /// coefficients — exactly the time-indexed capacity rows (Eq. 4): for a
+  /// cover S (Σ_{i∈S} w_i > C) every integer point satisfies
+  /// Σ_{i∈S} x_i <= |S| − 1, which the LP relaxation often violates.
+  int coverCutRounds = 1;
+  int maxCoverCutsPerRound = 64;
+  /// Disjoint ordered groups of binary columns of which exactly one is 1 in
+  /// any feasible solution (SOS1 along a value axis, e.g. the start-time
+  /// columns x_{i,0..K} of one job). When the branching variable belongs to
+  /// a group, the solver splits the group at its fractional mean position
+  /// (dichotomy over the axis) instead of branching on the single binary —
+  /// vastly stronger for time-indexed models.
+  std::vector<std::vector<int>> branchGroups;
+};
+
+MipResult solveMip(const MipModel& model, const MipOptions& options = {});
+
+}  // namespace dynsched::mip

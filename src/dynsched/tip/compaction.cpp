@@ -1,0 +1,42 @@
+#include "dynsched/tip/compaction.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "dynsched/core/planner.hpp"
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::tip {
+
+std::vector<std::size_t> startingOrder(const TipInstance& instance,
+                                       const std::vector<int>& startSlot) {
+  DYNSCHED_CHECK(startSlot.size() == instance.jobs.size());
+  std::vector<std::size_t> order(instance.jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+    DYNSCHED_CHECK_MSG(startSlot[i] >= 0,
+                       "job index " << i << " has no start slot");
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const core::Job& ja = instance.jobs[a];
+    const core::Job& jb = instance.jobs[b];
+    return std::tie(startSlot[a], ja.submit, ja.id) <
+           std::tie(startSlot[b], jb.submit, jb.id);
+  });
+  return order;
+}
+
+core::Schedule compactSchedule(const TipInstance& instance,
+                               const std::vector<std::size_t>& order) {
+  std::vector<core::Job> ordered;
+  ordered.reserve(order.size());
+  for (const std::size_t i : order) ordered.push_back(instance.jobs[i]);
+  return core::planInOrder(instance.history, ordered, instance.now);
+}
+
+core::Schedule compactFromSlots(const TipInstance& instance,
+                                const std::vector<int>& startSlot) {
+  return compactSchedule(instance, startingOrder(instance, startSlot));
+}
+
+}  // namespace dynsched::tip

@@ -1,0 +1,31 @@
+// Compaction of time-scaled schedules (paper Section 3.2).
+//
+// Time-scaling starts jobs only at slot boundaries, wasting up to
+// (scale − 1) seconds behind every job end. "To implement this in practice
+// each job is inserted in the schedule according to the starting order of
+// the schedule computed by CPLEX. Each job is placed as soon as possible and
+// unused time slots, due to time-scaling, do no longer occur."
+#pragma once
+
+#include <vector>
+
+#include "dynsched/core/schedule.hpp"
+#include "dynsched/tip/tim_model.hpp"
+
+namespace dynsched::tip {
+
+/// The solver's starting order: jobs sorted by start slot, ties broken by
+/// submit time then id (deterministic; within a slot the order is
+/// irrelevant to the ILP, so any fixed rule is valid).
+std::vector<std::size_t> startingOrder(const TipInstance& instance,
+                                       const std::vector<int>& startSlot);
+
+/// Second-precision earliest-fit re-insertion in the given order.
+core::Schedule compactSchedule(const TipInstance& instance,
+                               const std::vector<std::size_t>& order);
+
+/// Convenience: order + compaction from the solver's start slots.
+core::Schedule compactFromSlots(const TipInstance& instance,
+                                const std::vector<int>& startSlot);
+
+}  // namespace dynsched::tip

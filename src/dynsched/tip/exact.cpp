@@ -1,0 +1,42 @@
+#include "dynsched/tip/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dynsched/core/planner.hpp"
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::tip {
+
+ExactResult exactBestSchedule(const TipInstance& instance,
+                              core::MetricKind metric) {
+  const std::size_t n = instance.jobs.size();
+  DYNSCHED_CHECK_MSG(n >= 1 && n <= 10,
+                     "exact enumeration is limited to 10 jobs, got " << n);
+  const core::MetricEvaluator evaluator(instance.now,
+                                        instance.history.machineSize());
+  const bool lower = core::lowerIsBetter(metric);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  ExactResult best;
+  bool haveBest = false;
+  do {
+    std::vector<core::Job> ordered;
+    ordered.reserve(n);
+    for (const std::size_t i : order) ordered.push_back(instance.jobs[i]);
+    core::Schedule schedule =
+        core::planInOrder(instance.history, ordered, instance.now);
+    const double value = evaluator.evaluate(schedule, metric);
+    ++best.ordersTried;
+    if (!haveBest || (lower ? value < best.value : value > best.value)) {
+      best.value = value;
+      best.schedule = std::move(schedule);
+      haveBest = true;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace dynsched::tip

@@ -1,0 +1,29 @@
+// Exhaustive oracle for tiny instances.
+//
+// For any schedule S there is a start-order such that earliest-fit placement
+// in that order starts every job no later than in S (insert jobs by
+// ascending S-start; capacity available to each job is a superset of what S
+// used). Hence enumerating all n! orders and placing each earliest-fit finds
+// a true optimum for every monotone metric — an independent cross-check of
+// the branch-and-bound on small instances, and the "what is the optimal
+// schedule?" answer at second precision (no time-scaling).
+#pragma once
+
+#include "dynsched/core/metrics.hpp"
+#include "dynsched/core/schedule.hpp"
+#include "dynsched/tip/tim_model.hpp"
+
+namespace dynsched::tip {
+
+struct ExactResult {
+  core::Schedule schedule;
+  double value = 0;
+  std::size_t ordersTried = 0;
+};
+
+/// Enumerates all start orders (n ≤ 10 enforced) and returns the schedule
+/// minimizing (or maximizing, per the metric direction) `metric`.
+ExactResult exactBestSchedule(const TipInstance& instance,
+                              core::MetricKind metric);
+
+}  // namespace dynsched::tip

@@ -1,0 +1,164 @@
+#include "dynsched/tip/order_bnb.hpp"
+
+#include <algorithm>
+
+#include "dynsched/core/metrics.hpp"
+#include "dynsched/core/planner.hpp"
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/timer.hpp"
+
+namespace dynsched::tip {
+
+namespace {
+
+double weightedResponse(const core::Job& job, Time start) {
+  return static_cast<double>(start - job.submit + job.estimate) *
+         static_cast<double>(job.width);
+}
+
+class OrderSearch {
+ public:
+  OrderSearch(const TipInstance& instance, const OrderBnbOptions& options)
+      : instance_(instance), opts_(options) {
+    DYNSCHED_CHECK(!instance.jobs.empty());
+    DYNSCHED_CHECK_MSG(instance.jobs.size() <= 24,
+                       "order B&B is sized for <= 24 jobs, got "
+                           << instance.jobs.size());
+  }
+
+  OrderBnbResult run() {
+    // Incumbent: best of the three basic policies (always feasible).
+    for (const core::PolicyKind policy : core::kAllPolicies) {
+      const core::Schedule s = core::planSchedule(
+          instance_.history, instance_.jobs, policy, instance_.now);
+      consider(s);
+    }
+
+    const std::size_t n = instance_.jobs.size();
+    placed_.assign(n, false);
+    order_.clear();
+    order_.reserve(n);
+    core::ResourceProfile profile(instance_.history);
+    dfs(profile, 0.0);
+
+    result_.optimal = !limitHit_;
+    result_.seconds = timer_.elapsedSeconds();
+    return result_;
+  }
+
+ private:
+  void consider(const core::Schedule& schedule) {
+    const double objective =
+        core::MetricEvaluator::totalWeightedResponse(schedule);
+    if (result_.schedule.empty() || objective < result_.objective - 1e-9) {
+      result_.schedule = schedule;
+      result_.objective = objective;
+    }
+  }
+
+  /// Admissible bound: placed cost + each unplaced job at its individual
+  /// earliest fit in the current profile (ignoring the other unplaced jobs,
+  /// which can only delay it further).
+  double remainingBound(const core::ResourceProfile& profile) const {
+    double bound = 0;
+    for (std::size_t j = 0; j < instance_.jobs.size(); ++j) {
+      if (placed_[j]) continue;
+      const core::Job& job = instance_.jobs[j];
+      const Time ready = std::max(instance_.now, job.submit);
+      const Time start = profile.earliestFit(ready, job.estimate, job.width);
+      bound += weightedResponse(job, start);
+    }
+    return bound;
+  }
+
+  void dfs(const core::ResourceProfile& profile, double accumulated) {
+    if (limitHit_) return;
+    if (++result_.nodes >= opts_.maxNodes ||
+        ((result_.nodes & 1023) == 0 &&
+         timer_.elapsedSeconds() > opts_.timeLimitSeconds)) {
+      limitHit_ = true;
+      return;
+    }
+    const std::size_t n = instance_.jobs.size();
+    if (order_.size() == n) {
+      // Leaf: rebuild the schedule from the order (cheap relative to DFS).
+      std::vector<core::Job> ordered;
+      ordered.reserve(n);
+      for (const std::size_t j : order_) ordered.push_back(instance_.jobs[j]);
+      consider(core::planInOrder(instance_.history, ordered, instance_.now));
+      return;
+    }
+
+    // Child candidates: each unplaced job, with its earliest-fit start in
+    // the current profile. Explore cheapest-contribution-first so good
+    // incumbents appear early.
+    struct Candidate {
+      std::size_t jobIndex;
+      Time start;
+      double cost;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(n - order_.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (placed_[j]) continue;
+      const core::Job& job = instance_.jobs[j];
+      // Symmetry breaking: among identical unplaced jobs, only the one with
+      // the smallest index may be placed next.
+      bool shadowed = false;
+      for (std::size_t k = 0; k < j; ++k) {
+        if (placed_[k]) continue;
+        const core::Job& other = instance_.jobs[k];
+        if (other.width == job.width && other.estimate == job.estimate &&
+            other.submit == job.submit) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (shadowed) continue;
+      const Time ready = std::max(instance_.now, job.submit);
+      const Time start = profile.earliestFit(ready, job.estimate, job.width);
+      candidates.push_back(Candidate{j, start, weightedResponse(job, start)});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.jobIndex < b.jobIndex;
+              });
+
+    for (const Candidate& c : candidates) {
+      const core::Job& job = instance_.jobs[c.jobIndex];
+      core::ResourceProfile child = profile;
+      child.reserve(c.start, job.estimate, job.width);
+      const double childAccumulated = accumulated + c.cost;
+      placed_[c.jobIndex] = true;
+      order_.push_back(c.jobIndex);
+      // Prune on the admissible bound (>= incumbent − epsilon cannot win).
+      if (result_.schedule.empty() ||
+          childAccumulated + remainingBound(child) <
+              result_.objective - 1e-9) {
+        dfs(child, childAccumulated);
+      }
+      order_.pop_back();
+      placed_[c.jobIndex] = false;
+      if (limitHit_) return;
+    }
+  }
+
+  const TipInstance& instance_;
+  const OrderBnbOptions& opts_;
+  util::WallTimer timer_;
+  OrderBnbResult result_;
+  std::vector<bool> placed_;
+  std::vector<std::size_t> order_;
+  bool limitHit_ = false;
+};
+
+}  // namespace
+
+OrderBnbResult solveByOrderBnb(const TipInstance& instance,
+                               const OrderBnbOptions& options) {
+  OrderSearch search(instance, options);
+  return search.run();
+}
+
+}  // namespace dynsched::tip

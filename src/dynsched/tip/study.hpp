@@ -1,0 +1,97 @@
+// The offline comparison study (paper Section 4 / Table 1).
+//
+// For each captured self-tuning step: size the grid with Eq. 6, build the
+// time-indexed MIP, warm-start it with the best policy schedule, solve it
+// with the branch-and-bound "CPLEX substitute", compact the solver's start
+// order back to second precision, and compare against the best basic policy:
+//
+//     quality(p, m)  = perf(ILP, m) / perf(p, m)            (Eq. 7)
+//     perf. loss [%] = (1 − quality) · 100
+//
+// quality < 1 means the ILP schedule is better; time-scaling can make it
+// exceed 1 (the policy beats the scaled ILP), exactly as in the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynsched/mip/mip.hpp"
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/tip/compaction.hpp"
+#include "dynsched/tip/tim_model.hpp"
+#include "dynsched/tip/time_scaling.hpp"
+
+namespace dynsched::tip {
+
+struct StudyOptions {
+  TimeScalingParams scaling;
+  mip::MipOptions mip;
+  core::MetricKind metric = core::MetricKind::SldWA;
+  bool warmStart = true;             ///< seed B&B with the policy schedule
+  bool roundingHeuristic = true;     ///< LP-guided order rounding
+  /// Override the Eq. 6 scale with a fixed value (0 = use Eq. 6) — used by
+  /// the time-scale sensitivity bench.
+  Time forcedTimeScale = 0;
+};
+
+/// One Table 1 row.
+struct StudyRow {
+  Time submissionTime = 0;     ///< when self-tuning was invoked
+  std::size_t jobs = 0;        ///< waiting jobs in the step
+  Time makespan = 0;           ///< T − now, the horizon length [sec]
+  Time accRuntime = 0;         ///< summed estimated durations [sec]
+  Time timeScale = 0;          ///< grid resolution [sec]
+  core::PolicyKind bestPolicy = core::PolicyKind::Fcfs;
+  double policyValue = 0;      ///< best policy's metric value
+  double ilpValue = 0;         ///< compacted ILP schedule's metric value
+  double quality = 1;          ///< Eq. 7
+  double perfLossPct = 0;      ///< (1 − quality)·100
+  double solveSeconds = 0;
+  mip::MipStatus status = mip::MipStatus::Error;
+  double gap = 0;              ///< relative B&B gap at stop
+  long nodes = 0;
+  int lpColumns = 0;
+  int lpRows = 0;
+};
+
+/// Aggregates (the paper's final "averages" line).
+struct StudyAverages {
+  std::size_t rows = 0;
+  double jobs = 0;
+  double makespan = 0;
+  double accRuntime = 0;
+  double timeScale = 0;
+  double quality = 0;
+  double perfLossPct = 0;
+  double solveSeconds = 0;
+};
+
+StudyAverages averageRows(const std::vector<StudyRow>& rows);
+
+/// Builds the TipInstance of a snapshot (horizon = max policy makespan,
+/// scale from Eq. 6 or the forced override).
+TipInstance makeInstance(const sim::StepSnapshot& snapshot,
+                         const StudyOptions& options);
+
+/// Production solver configuration for a time-indexed model: SOS1 group
+/// branching over each job's start slots, the LP-guided order-rounding
+/// heuristic, integral-objective bound tightening, and (optionally) a
+/// warm-start incumbent snapped from a second-precision schedule.
+/// `model`, `instance` and `grid` are captured by reference and must
+/// outlive the solveMip() call.
+mip::MipOptions makeMipOptions(const TipModel& model,
+                               const TipInstance& instance, const Grid& grid,
+                               mip::MipOptions base = {},
+                               const core::Schedule* warmStart = nullptr);
+
+/// Solves one captured step and fills a row.
+StudyRow runStep(const sim::StepSnapshot& snapshot,
+                 const StudyOptions& options);
+
+/// Runs every snapshot (optionally on `threads` workers) in input order.
+std::vector<StudyRow> runStudy(const std::vector<sim::StepSnapshot>& snapshots,
+                               const StudyOptions& options,
+                               unsigned threads = 1);
+
+}  // namespace dynsched::tip

@@ -1,0 +1,97 @@
+// The time-indexed integer program of paper Section 3.1.
+//
+// Variables (Eq. 1): binary x_it = 1 iff job i starts at (scaled) time t.
+// Objective (Eq. 2): minimize Σ x_it (t − s_i + d_i) · w_i — the total
+// width-weighted response time (ARTwW up to the constant Σ w_i).
+// Constraints: every job starts exactly once (Eq. 3); at every time the
+// running width does not exceed the free capacity M_t given the machine
+// history (Eq. 4); x binary (Eq. 5). The horizon T is an input — the paper
+// uses the maximum makespan of the FCFS/SJF/LJF schedules.
+//
+// On a grid of `timeScale` seconds per slot, a job starting in slot k
+// occupies ceil(d_i / scale) slots: starts snap to slot beginnings while
+// durations stay exact, so the slot remainder is unusable in the model —
+// exactly the paper's time-scaling drawback that compaction later removes.
+#pragma once
+
+#include <vector>
+
+#include "dynsched/core/machine_history.hpp"
+#include "dynsched/core/schedule.hpp"
+#include "dynsched/mip/mip.hpp"
+
+namespace dynsched::tip {
+
+/// One quasi-offline scheduling instance (a self-tuning step).
+struct TipInstance {
+  core::MachineHistory history = core::MachineHistory::empty({1}, 0);
+  std::vector<core::Job> jobs;  ///< the fixed waiting set
+  Time now = 0;                 ///< decision instant
+  Time horizon = 0;             ///< absolute T bound (max policy makespan)
+  Time timeScale = 60;          ///< seconds per grid slot
+};
+
+/// Slot-granular capacities and placement on the grid.
+class Grid {
+ public:
+  Grid(const TipInstance& instance, int minSlots);
+
+  int slots() const { return static_cast<int>(capacity_.size()); }
+  Time slotStart(int k) const {
+    return now_ + static_cast<Time>(k) * scale_;
+  }
+  /// Free capacity throughout slot k (the history staircase is
+  /// non-decreasing, so the value at the slot start is the slot minimum).
+  NodeCount capacity(int k) const { return capacity_[static_cast<std::size_t>(k)]; }
+  /// Slots job `i` occupies when started: ceil(d_i / scale).
+  int slotDuration(std::size_t jobIndex) const {
+    return slotDuration_[jobIndex];
+  }
+
+  /// Earliest-fit placement of the instance jobs in the given order, slot
+  /// granular. Returns the start slot per job (indexed like `order`'s
+  /// job indices) and may require more slots than slots(); the placement
+  /// array `usedSlots` reports the total. Placement beyond slots() assumes
+  /// full machine capacity (the history staircase has flattened by then).
+  struct Placement {
+    std::vector<int> startSlot;  ///< per job index of the instance
+    int usedSlots = 0;
+  };
+  Placement placeInOrder(const std::vector<std::size_t>& order) const;
+
+ private:
+  Time now_;
+  Time scale_;
+  NodeCount machineSize_;
+  std::vector<NodeCount> capacity_;
+  std::vector<int> slotDuration_;
+  const TipInstance* instance_;
+};
+
+/// The built MIP together with the column mapping back to (job, slot).
+struct TipModel {
+  mip::MipModel mip;
+  int numSlots = 0;
+  std::vector<int> colJob;              ///< per column: job index
+  std::vector<int> colSlot;             ///< per column: start slot
+  std::vector<std::vector<int>> jobColumns;  ///< per job: its column ids
+
+  /// Decodes a 0/1 solution vector into a start slot per job (-1 if the
+  /// job has no selected column — cannot happen in a feasible solution).
+  std::vector<int> startSlots(const std::vector<double>& x) const;
+
+  /// Encodes a grid placement as a 0/1 solution vector, or nullopt if some
+  /// start slot has no column (placement exceeded the model horizon).
+  std::optional<std::vector<double>> encode(
+      const std::vector<int>& startSlot) const;
+};
+
+/// Builds the model. The slot count covers the horizon and is extended just
+/// enough that an FCFS grid placement fits, which guarantees integer
+/// feasibility after start-snapping.
+TipModel buildModel(const TipInstance& instance, const Grid& grid);
+
+/// Convenience: grid sized for the instance (FCFS-feasible).
+Grid makeGrid(const TipInstance& instance);
+
+}  // namespace dynsched::tip

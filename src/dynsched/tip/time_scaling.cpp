@@ -1,0 +1,44 @@
+#include "dynsched/tip/time_scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::tip {
+
+double estimateProblemBytes(Time makespan, Time accRuntime, std::size_t jobs,
+                            Time scale, const TimeScalingParams& params) {
+  DYNSCHED_CHECK(makespan > 0 && scale > 0);
+  // memory ≈ (makespan/scale)² · jobs · (accRuntime/makespan) · x — see the
+  // header comment; computeTimeScale() is this model solved for `scale`.
+  const double slots =
+      static_cast<double>(makespan) / static_cast<double>(scale);
+  const double density = static_cast<double>(accRuntime) /
+                         static_cast<double>(makespan);
+  return slots * slots * static_cast<double>(jobs) * density *
+         params.bytesPerEntry;
+}
+
+Time computeTimeScale(Time makespan, Time accRuntime, std::size_t jobs,
+                      const TimeScalingParams& params) {
+  DYNSCHED_CHECK(makespan > 0);
+  DYNSCHED_CHECK(accRuntime >= 0);
+  DYNSCHED_CHECK(jobs > 0);
+  const double budget = static_cast<double>(params.totalMemoryBytes) /
+                        params.solverOverheadFactor;
+  // Eq. 6: scale = sqrt(makespan · jobs · accRuntime · x / budget).
+  const double raw = std::sqrt(static_cast<double>(makespan) *
+                               static_cast<double>(jobs) *
+                               static_cast<double>(accRuntime) *
+                               params.bytesPerEntry / budget);
+  Time scale = std::max<Time>(params.minScale,
+                              static_cast<Time>(std::ceil(raw)));
+  // Round up to the next full multiple (full minutes by default) so the
+  // grids of successive steps stay comparable.
+  const Time r = std::max<Time>(1, params.roundToSeconds);
+  if (scale > 1) scale = ((scale + r - 1) / r) * r;
+  return std::max<Time>(scale, params.minScale);
+}
+
+}  // namespace dynsched::tip

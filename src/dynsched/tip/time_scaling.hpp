@@ -1,0 +1,46 @@
+// Time-scaling (paper Section 3.2, Eq. 6).
+//
+// A second-granular time-indexed model has (#jobs × T) binary variables and
+// is far too large; the schedule is therefore computed on a coarser grid.
+// The paper sizes the grid from a memory model:
+//
+//     memory ≈ (makespan / scale)² · jobs · (accRuntime / makespan) · x
+//
+// (number of matrix entries — jobs·(T/scale) columns, each with about
+// accRuntime/(jobs·scale) capacity entries, plus (T/scale) rows — times x
+// bytes per entry). Solving "memory = budget" for the scale gives
+//
+//     scale = sqrt(makespan · jobs · accRuntime · x / budget)      (Eq. 6)
+//
+// rounded *up* to full minutes. The budget is a quarter of the machine's
+// memory, "as the additional memory is needed by CPLEX during the solving
+// phase"; good values for x are around 0.1 KB.
+#pragma once
+
+#include <cstdint>
+
+#include "dynsched/util/types.hpp"
+
+namespace dynsched::tip {
+
+struct TimeScalingParams {
+  double bytesPerEntry = 102.4;  ///< x ≈ 0.1 KB (paper's initial testing)
+  std::uint64_t totalMemoryBytes = 8ULL << 30;  ///< the paper's 8 GB server
+  double solverOverheadFactor = 4.0;  ///< budget = total / this
+  Time roundToSeconds = 60;           ///< "rounded up to the next 60 seconds"
+  Time minScale = 1;
+};
+
+/// Computes the time scale for one quasi-offline instance.
+/// `makespan` is the schedule length T − now (upper bound from the max
+/// policy makespan), `accRuntime` the summed estimated durations of the
+/// waiting jobs.
+Time computeTimeScale(Time makespan, Time accRuntime, std::size_t jobs,
+                      const TimeScalingParams& params = {});
+
+/// The memory-model estimate for a given scale (bytes); exposed for tests
+/// and for reporting the predicted instance size.
+double estimateProblemBytes(Time makespan, Time accRuntime, std::size_t jobs,
+                            Time scale, const TimeScalingParams& params = {});
+
+}  // namespace dynsched::tip

@@ -1,0 +1,110 @@
+#include "dynsched/trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dynsched/util/strings.hpp"
+
+namespace dynsched::trace {
+
+Quantiles computeQuantiles(std::vector<double> sample) {
+  Quantiles q;
+  if (sample.empty()) return q;
+  std::sort(sample.begin(), sample.end());
+  const auto at = [&](double p) {
+    const double idx = p * static_cast<double>(sample.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+  };
+  q.min = sample.front();
+  q.p25 = at(0.25);
+  q.median = at(0.50);
+  q.p75 = at(0.75);
+  q.p90 = at(0.90);
+  q.max = sample.back();
+  double sum = 0;
+  for (double v : sample) sum += v;
+  q.mean = sum / static_cast<double>(sample.size());
+  return q;
+}
+
+WorkloadStats analyze(const SwfTrace& trace, NodeCount machineSize) {
+  WorkloadStats stats;
+  stats.machineSize = machineSize > 0 ? machineSize : trace.maxProcs(0);
+  const auto& jobs = trace.jobs();
+  stats.jobCount = jobs.size();
+  if (jobs.empty()) return stats;
+
+  std::vector<double> runtimes, estimates, widths;
+  runtimes.reserve(jobs.size());
+  estimates.reserve(jobs.size());
+  widths.reserve(jobs.size());
+  std::size_t serial = 0, pow2 = 0, overCount = 0;
+  double overSum = 0;
+  double area = 0;
+  Time firstSubmit = jobs.front().submitTime;
+  Time lastSubmit = jobs.front().submitTime;
+  for (const SwfJob& j : jobs) {
+    firstSubmit = std::min(firstSubmit, j.submitTime);
+    lastSubmit = std::max(lastSubmit, j.submitTime);
+    if (j.runTime > 0) runtimes.push_back(static_cast<double>(j.runTime));
+    if (j.estimate() > 0)
+      estimates.push_back(static_cast<double>(j.estimate()));
+    const NodeCount w = j.width();
+    if (w > 0) {
+      widths.push_back(static_cast<double>(w));
+      if (w == 1) ++serial;
+      if ((w & (w - 1)) == 0) ++pow2;
+      if (j.runTime > 0) {
+        area += static_cast<double>(j.runTime) * static_cast<double>(w);
+        if (j.estimate() > 0) {
+          overSum += static_cast<double>(j.estimate()) /
+                     static_cast<double>(j.runTime);
+          ++overCount;
+        }
+      }
+    }
+  }
+  stats.traceSpan = lastSubmit - firstSubmit;
+  if (jobs.size() > 1 && stats.traceSpan > 0) {
+    stats.meanInterarrival = static_cast<double>(stats.traceSpan) /
+                             static_cast<double>(jobs.size() - 1);
+  }
+  stats.runtime = computeQuantiles(std::move(runtimes));
+  stats.estimate = computeQuantiles(std::move(estimates));
+  stats.width = computeQuantiles(widths);
+  if (!widths.empty()) {
+    stats.serialFraction =
+        static_cast<double>(serial) / static_cast<double>(widths.size());
+    stats.powerOfTwoFraction =
+        static_cast<double>(pow2) / static_cast<double>(widths.size());
+  }
+  if (overCount > 0)
+    stats.meanOverestimation = overSum / static_cast<double>(overCount);
+  if (stats.machineSize > 0 && stats.traceSpan > 0) {
+    stats.offeredLoad = area / (static_cast<double>(stats.traceSpan) *
+                                static_cast<double>(stats.machineSize));
+  }
+  return stats;
+}
+
+std::string WorkloadStats::summary() const {
+  std::ostringstream os;
+  os << "jobs=" << jobCount << " machine=" << machineSize
+     << " span=" << util::formatThousands(traceSpan) << "s"
+     << " interarrival=" << meanInterarrival << "s"
+     << " load=" << offeredLoad << "\n"
+     << "  runtime : mean=" << runtime.mean << "s median=" << runtime.median
+     << "s p90=" << runtime.p90 << "s max=" << runtime.max << "s\n"
+     << "  estimate: mean=" << estimate.mean
+     << "s overestimation(mean est/run)=" << meanOverestimation << "\n"
+     << "  width   : mean=" << width.mean << " median=" << width.median
+     << " max=" << width.max << " serial=" << serialFraction * 100
+     << "% pow2=" << powerOfTwoFraction * 100 << "%";
+  return os.str();
+}
+
+}  // namespace dynsched::trace

@@ -1,0 +1,43 @@
+// Workload characterisation (job mix, arrival process, offered load).
+//
+// The paper motivates dynP with "non-uniform workload and job characteristics
+// that permanently change" and cites the CTC mean interarrival time of 369 s;
+// this module computes exactly those quantities so the synthetic generator
+// can be validated against its calibration targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynsched/trace/swf.hpp"
+
+namespace dynsched::trace {
+
+struct Quantiles {
+  double min = 0, p25 = 0, median = 0, p75 = 0, p90 = 0, max = 0;
+  double mean = 0;
+};
+
+/// Computes quantiles of a sample (copied and sorted internally).
+Quantiles computeQuantiles(std::vector<double> sample);
+
+struct WorkloadStats {
+  std::size_t jobCount = 0;
+  NodeCount machineSize = 0;
+  Time traceSpan = 0;             ///< last submit − first submit
+  double meanInterarrival = 0;    ///< seconds
+  Quantiles runtime;              ///< actual runtimes
+  Quantiles estimate;             ///< requested times
+  Quantiles width;                ///< processors
+  double serialFraction = 0;      ///< width == 1
+  double powerOfTwoFraction = 0;  ///< width is a power of two (incl. 1)
+  double meanOverestimation = 0;  ///< mean(estimate/runtime) over valid jobs
+  /// Offered load: sum(runtime*width) / (span * machineSize).
+  double offeredLoad = 0;
+
+  std::string summary() const;
+};
+
+WorkloadStats analyze(const SwfTrace& trace, NodeCount machineSize = 0);
+
+}  // namespace dynsched::trace

@@ -1,0 +1,126 @@
+#include "dynsched/trace/swf.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/strings.hpp"
+
+namespace dynsched::trace {
+
+namespace {
+
+using util::parseDouble;
+using util::parseInt;
+using util::splitWhitespace;
+using util::trim;
+
+constexpr std::size_t kSwfFieldCount = 18;
+
+bool parseRecord(const std::vector<std::string>& fields, SwfJob& job) {
+  if (fields.size() != kSwfFieldCount) return false;
+  const auto asInt = [&](std::size_t i, auto& out) {
+    const auto v = parseInt(fields[i]);
+    if (!v) return false;
+    out = static_cast<std::remove_reference_t<decltype(out)>>(*v);
+    return true;
+  };
+  const auto asDouble = [&](std::size_t i, double& out) {
+    const auto v = parseDouble(fields[i]);
+    if (!v) return false;
+    out = *v;
+    return true;
+  };
+  return asInt(0, job.jobNumber) && asInt(1, job.submitTime) &&
+         asInt(2, job.waitTime) && asInt(3, job.runTime) &&
+         asInt(4, job.allocatedProcs) && asDouble(5, job.avgCpuTime) &&
+         asDouble(6, job.usedMemory) && asInt(7, job.requestedProcs) &&
+         asInt(8, job.requestedTime) && asDouble(9, job.requestedMemory) &&
+         asInt(10, job.status) && asInt(11, job.userId) &&
+         asInt(12, job.groupId) && asInt(13, job.executable) &&
+         asInt(14, job.queue) && asInt(15, job.partition) &&
+         asInt(16, job.precedingJob) && asInt(17, job.thinkTime);
+}
+
+}  // namespace
+
+void SwfTrace::setHeaderField(const std::string& key,
+                              const std::string& value) {
+  header_[key] = value;
+}
+
+NodeCount SwfTrace::maxProcs(NodeCount fallback) const {
+  for (const char* key : {"MaxProcs", "MaxNodes"}) {
+    const auto it = header_.find(key);
+    if (it == header_.end()) continue;
+    const auto v = parseInt(it->second);
+    if (v && *v > 0) return static_cast<NodeCount>(*v);
+  }
+  return fallback;
+}
+
+SwfTrace SwfTrace::parse(std::istream& in, bool lenient) {
+  SwfTrace trace;
+  std::string line;
+  std::size_t lineNumber = 0;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    const std::string_view t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == ';') {
+      // Header directive: "; Key: Value". Free-form comments are kept out of
+      // the header map (no colon, or empty key).
+      const std::string_view body = trim(t.substr(1));
+      const std::size_t colon = body.find(':');
+      if (colon != std::string_view::npos && colon > 0) {
+        const std::string key(trim(body.substr(0, colon)));
+        const std::string value(trim(body.substr(colon + 1)));
+        if (!key.empty() && key.find(' ') == std::string::npos) {
+          trace.header_[key] = value;
+        }
+      }
+      continue;
+    }
+    SwfJob job;
+    if (!parseRecord(splitWhitespace(t), job)) {
+      if (lenient) {
+        ++trace.skippedLines_;
+        continue;
+      }
+      DYNSCHED_CHECK_MSG(false, "malformed SWF record at line " << lineNumber
+                                                                << ": " << t);
+    }
+    trace.jobs_.push_back(job);
+  }
+  return trace;
+}
+
+SwfTrace SwfTrace::parseFile(const std::string& path, bool lenient) {
+  std::ifstream in(path);
+  DYNSCHED_CHECK_MSG(in.good(), "cannot open SWF file '" << path << "'");
+  return parse(in, lenient);
+}
+
+void SwfTrace::write(std::ostream& out) const {
+  for (const auto& [key, value] : header_) {
+    out << "; " << key << ": " << value << '\n';
+  }
+  for (const SwfJob& j : jobs_) {
+    out << j.jobNumber << ' ' << j.submitTime << ' ' << j.waitTime << ' '
+        << j.runTime << ' ' << j.allocatedProcs << ' ' << j.avgCpuTime << ' '
+        << j.usedMemory << ' ' << j.requestedProcs << ' ' << j.requestedTime
+        << ' ' << j.requestedMemory << ' ' << j.status << ' ' << j.userId
+        << ' ' << j.groupId << ' ' << j.executable << ' ' << j.queue << ' '
+        << j.partition << ' ' << j.precedingJob << ' ' << j.thinkTime << '\n';
+  }
+}
+
+void SwfTrace::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  DYNSCHED_CHECK_MSG(out.good(), "cannot write SWF file '" << path << "'");
+  write(out);
+}
+
+}  // namespace dynsched::trace

@@ -1,0 +1,89 @@
+// Standard Workload Format (SWF) support.
+//
+// The paper evaluates on the CTC trace from the Parallel Workloads Archive,
+// which is distributed in SWF: a line-oriented text format with 18
+// whitespace-separated integer fields per job and ';'-prefixed header
+// comments. This module parses and writes that format faithfully so the real
+// CTC file can be dropped in; the bundled CtcModel generator produces the
+// same structure synthetically (see DESIGN.md, substitutions).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dynsched/util/types.hpp"
+
+namespace dynsched::trace {
+
+/// One SWF record. Field names follow the SWF specification; -1 means
+/// "unknown/not collected" throughout, as in the archive files.
+struct SwfJob {
+  JobId jobNumber = -1;        ///< 1-based job counter
+  Time submitTime = -1;        ///< seconds since trace start
+  Time waitTime = -1;          ///< seconds spent waiting
+  Time runTime = -1;           ///< actual wall-clock runtime (seconds)
+  NodeCount allocatedProcs = -1;
+  double avgCpuTime = -1;      ///< average CPU time used per processor
+  double usedMemory = -1;      ///< KB per processor
+  NodeCount requestedProcs = -1;
+  Time requestedTime = -1;     ///< user runtime estimate (seconds)
+  double requestedMemory = -1;
+  int status = -1;             ///< 1 = completed, 0 = failed, 5 = cancelled
+  int userId = -1;
+  int groupId = -1;
+  int executable = -1;
+  int queue = -1;
+  int partition = -1;
+  JobId precedingJob = -1;
+  Time thinkTime = -1;
+
+  /// Width used for scheduling: requested processors if known, otherwise
+  /// the allocation that was observed.
+  NodeCount width() const {
+    return requestedProcs > 0 ? requestedProcs : allocatedProcs;
+  }
+
+  /// Runtime estimate used by a planning-based RMS: the user request if
+  /// known, otherwise the actual runtime (perfect estimate fallback).
+  Time estimate() const {
+    return requestedTime > 0 ? requestedTime : runTime;
+  }
+};
+
+/// A parsed SWF trace: header directives plus the job records in file order.
+class SwfTrace {
+ public:
+  SwfTrace() = default;
+
+  std::vector<SwfJob>& jobs() { return jobs_; }
+  const std::vector<SwfJob>& jobs() const { return jobs_; }
+
+  /// Header directives ("; Key: Value" lines), e.g. "MaxNodes" -> "430".
+  const std::map<std::string, std::string>& header() const { return header_; }
+  void setHeaderField(const std::string& key, const std::string& value);
+
+  /// MaxProcs (preferred) or MaxNodes header as an integer; `fallback` if
+  /// neither is present or parseable.
+  NodeCount maxProcs(NodeCount fallback = 0) const;
+
+  /// Parses SWF text. Throws CheckError on malformed records unless
+  /// `lenient` (then bad lines are skipped and counted).
+  static SwfTrace parse(std::istream& in, bool lenient = false);
+  static SwfTrace parseFile(const std::string& path, bool lenient = false);
+
+  /// Number of input lines skipped during a lenient parse.
+  std::size_t skippedLines() const { return skippedLines_; }
+
+  /// Serializes header + jobs back to SWF.
+  void write(std::ostream& out) const;
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::string> header_;
+  std::vector<SwfJob> jobs_;
+  std::size_t skippedLines_ = 0;
+};
+
+}  // namespace dynsched::trace

@@ -1,0 +1,221 @@
+#include "dynsched/trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::trace {
+
+namespace {
+
+/// Largest power of two <= v (v >= 1).
+NodeCount floorPow2(NodeCount v) {
+  NodeCount p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+NodeCount sampleWidth(const JobClass& c, util::Rng& rng) {
+  NodeCount w = static_cast<NodeCount>(rng.uniformInt(c.widthLo, c.widthHi));
+  if (w > 1 && rng.bernoulli(c.pow2Bias)) {
+    // Snap to the nearest power of two inside [widthLo, widthHi] when one
+    // exists; users overwhelmingly request power-of-two partitions.
+    const NodeCount lower = floorPow2(w);
+    const NodeCount upper = lower * 2;
+    NodeCount snapped = (upper - w < w - lower) ? upper : lower;
+    snapped = std::clamp(snapped, c.widthLo, c.widthHi);
+    if (snapped >= 1) w = snapped;
+  }
+  return w;
+}
+
+Time sampleRuntime(const JobClass& c, util::Rng& rng) {
+  const double r = rng.logUniform(std::max(1.0, c.runtimeLo),
+                                  std::max(1.0, c.runtimeHi));
+  return std::max<Time>(1, static_cast<Time>(std::llround(r)));
+}
+
+Time sampleEstimate(Time runtime, const EstimateModel& m, util::Rng& rng) {
+  const double factor = m.maxFactor <= 1.0
+                            ? 1.0
+                            : rng.logUniform(1.0, m.maxFactor);
+  const double raw = static_cast<double>(runtime) * factor;
+  const Time g = std::max<Time>(1, m.granularity);
+  const Time rounded = ((static_cast<Time>(std::llround(raw)) + g - 1) / g) * g;
+  return std::max(rounded, runtime);  // a planner kills jobs at the estimate
+}
+
+/// Draws the next interarrival gap via thinning of a non-homogeneous Poisson
+/// process with rate lambda(t) = base * (1 + a*sin(...)).
+Time nextGap(Time now, const ArrivalModel& m, util::Rng& rng) {
+  const double baseRate = 1.0 / std::max(1.0, m.meanInterarrival);
+  const double amplitude = std::clamp(m.dailyCycleAmplitude, 0.0, 0.999);
+  if (amplitude == 0.0) {
+    return std::max<Time>(
+        1, static_cast<Time>(std::llround(rng.exponential(baseRate))));
+  }
+  const double maxRate = baseRate * (1.0 + amplitude);
+  double t = static_cast<double>(now);
+  // Ogata thinning: propose with the envelope rate, accept with ratio.
+  for (int guard = 0; guard < 100000; ++guard) {
+    t += rng.exponential(maxRate);
+    const double phase =
+        2.0 * std::numbers::pi * ((t - m.dailyCyclePhase) / 86400.0);
+    const double rate = baseRate * (1.0 + amplitude * std::sin(phase));
+    if (rng.uniform() * maxRate <= rate) {
+      return std::max<Time>(
+          1, static_cast<Time>(std::llround(t - static_cast<double>(now))));
+    }
+  }
+  return std::max<Time>(1, static_cast<Time>(std::llround(m.meanInterarrival)));
+}
+
+}  // namespace
+
+SwfTrace SyntheticModel::generate(std::size_t jobCount,
+                                  std::uint64_t seed) const {
+  DYNSCHED_CHECK(machineSize > 0);
+  DYNSCHED_CHECK(!classes.empty());
+  util::Rng rng(seed);
+  std::vector<double> weights;
+  weights.reserve(classes.size());
+  for (const JobClass& c : classes) {
+    DYNSCHED_CHECK(c.widthLo >= 1 && c.widthLo <= c.widthHi);
+    DYNSCHED_CHECK(c.widthHi <= machineSize);
+    weights.push_back(c.weight);
+  }
+
+  SwfTrace trace;
+  trace.setHeaderField("MaxNodes", std::to_string(machineSize));
+  trace.setHeaderField("MaxProcs", std::to_string(machineSize));
+  trace.setHeaderField("Note", "synthetic model '" + name + "'");
+  auto& jobs = trace.jobs();
+  jobs.reserve(jobCount);
+
+  Time now = 0;
+  int burstRemaining = 0;
+  JobClass burstClass;
+  while (jobs.size() < jobCount) {
+    const bool inBurst = burstRemaining > 0;
+    if (!inBurst) {
+      now += nextGap(now, arrivals, rng);
+      if (arrivals.burstProbability > 0 &&
+          rng.bernoulli(arrivals.burstProbability)) {
+        burstRemaining = static_cast<int>(
+            rng.uniformInt(2, std::max(2, arrivals.burstMax)));
+        burstClass = classes[rng.discrete(weights)];
+      }
+    } else {
+      // Script submissions land within a few seconds of each other.
+      now += rng.uniformInt(0, 3);
+      --burstRemaining;
+    }
+
+    const JobClass& cls =
+        inBurst ? burstClass : classes[rng.discrete(weights)];
+    SwfJob job;
+    job.jobNumber = static_cast<JobId>(jobs.size() + 1);
+    job.submitTime = now;
+    job.runTime = sampleRuntime(cls, rng);
+    if (inBurst) {
+      // Parameter-study jobs share a width and have similar runtimes.
+      job.runTime = std::max<Time>(
+          1, static_cast<Time>(std::llround(
+                 static_cast<double>(job.runTime) * rng.uniform(0.8, 1.2))));
+      job.requestedProcs = sampleWidth(burstClass, rng);
+    } else {
+      job.requestedProcs = sampleWidth(cls, rng);
+    }
+    job.allocatedProcs = job.requestedProcs;
+    job.requestedTime = sampleEstimate(job.runTime, estimates, rng);
+    job.status = 1;
+    job.userId = static_cast<int>(rng.uniformInt(1, 64));
+    job.groupId = job.userId % 8 + 1;
+    job.queue = 1;
+    jobs.push_back(job);
+  }
+  return trace;
+}
+
+SyntheticModel ctcModel() {
+  SyntheticModel m;
+  m.name = "ctc-like";
+  m.machineSize = 430;
+  m.arrivals.meanInterarrival = 369.0;
+  m.arrivals.dailyCycleAmplitude = 0.5;
+  m.arrivals.burstProbability = 0.02;
+  m.arrivals.burstMax = 12;
+  m.estimates.maxFactor = 8.0;
+  // The class mixture is calibrated so the offered load lands around 0.6:
+  // with a 369 s mean interarrival on 430 nodes, the mean job area must be
+  // ~0.6 · 369 · 430 ≈ 95k node-seconds (log-uniform mean = (hi−lo)/ln(hi/lo)).
+  m.classes = {
+      // Sequential / tiny short jobs (debug runs, post-processing).
+      {0.34, 1, 2, 0.9, 30, 1800},
+      // Small parallel production jobs.
+      {0.42, 2, 16, 0.8, 300, 3 * 3600},
+      // Medium parallel, multi-hour.
+      {0.18, 8, 48, 0.8, 1800, 4 * 3600},
+      // Wide long-running jobs (up to a half-machine request).
+      {0.06, 32, 192, 0.6, 3600, 6 * 3600},
+  };
+  return m;
+}
+
+SyntheticModel shortJobModel() {
+  // Offered load ~0.45: mean area ≈ 9k node-seconds at 45 s interarrivals.
+  SyntheticModel m;
+  m.name = "short-jobs";
+  m.machineSize = 430;
+  m.arrivals.meanInterarrival = 45.0;
+  m.arrivals.burstProbability = 0.05;
+  m.estimates.maxFactor = 4.0;
+  m.classes = {
+      {0.70, 1, 4, 0.9, 20, 900},
+      {0.30, 2, 64, 0.8, 60, 3600},
+  };
+  return m;
+}
+
+SyntheticModel longJobModel() {
+  // Offered load ~0.7: mean area ≈ 570k node-seconds at 2400 s interarrivals.
+  SyntheticModel m;
+  m.name = "long-jobs";
+  m.machineSize = 430;
+  m.arrivals.meanInterarrival = 2400.0;
+  m.arrivals.burstProbability = 0.0;
+  m.estimates.maxFactor = 3.0;
+  m.classes = {
+      {0.55, 16, 96, 0.8, 2 * 3600, 8 * 3600},
+      {0.45, 8, 32, 0.8, 3600, 6 * 3600},
+  };
+  return m;
+}
+
+SwfTrace generatePhased(
+    const std::vector<std::pair<SyntheticModel, std::size_t>>& phases,
+    std::uint64_t seed) {
+  DYNSCHED_CHECK(!phases.empty());
+  SwfTrace out;
+  NodeCount machineSize = 0;
+  Time offset = 0;
+  util::Rng seeder(seed);
+  for (const auto& [model, count] : phases) {
+    machineSize = std::max(machineSize, model.machineSize);
+    const SwfTrace part = model.generate(count, seeder.next());
+    for (SwfJob job : part.jobs()) {
+      job.submitTime += offset;
+      job.jobNumber = static_cast<JobId>(out.jobs().size() + 1);
+      out.jobs().push_back(job);
+    }
+    if (!out.jobs().empty()) offset = out.jobs().back().submitTime + 1;
+  }
+  out.setHeaderField("MaxNodes", std::to_string(machineSize));
+  out.setHeaderField("MaxProcs", std::to_string(machineSize));
+  out.setHeaderField("Note", "phased synthetic workload");
+  return out;
+}
+
+}  // namespace dynsched::trace

@@ -1,0 +1,82 @@
+// Synthetic workload generation.
+//
+// The Parallel Workloads Archive CTC trace cannot be bundled here, so the
+// evaluation uses a calibrated synthetic equivalent (DESIGN.md lists this
+// substitution). The model below follows the structure of classic workload
+// models (Feitelson/Lublin): a job-class mixture for (width, runtime), a
+// Poisson arrival process modulated by a daily cycle with optional bursts
+// (scripted parameter studies — paper Section 1), and multiplicative user
+// runtime over-estimation rounded to "human" values.
+//
+// Calibration targets for the CTC preset (see ctcModel()):
+//   machine size 430, mean interarrival ~369 s (paper Section 4),
+//   offered load ~0.6-0.7, width mix dominated by small powers of two,
+//   runtimes from minutes to ~18 h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dynsched/trace/swf.hpp"
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::trace {
+
+/// One component of the (width, runtime) mixture.
+struct JobClass {
+  double weight = 1.0;        ///< relative mixture probability
+  NodeCount widthLo = 1;      ///< inclusive
+  NodeCount widthHi = 1;      ///< inclusive
+  double pow2Bias = 0.75;     ///< prob. of snapping width to a power of two
+  double runtimeLo = 60;      ///< seconds, log-uniform lower bound
+  double runtimeHi = 3600;    ///< seconds, log-uniform upper bound
+};
+
+struct ArrivalModel {
+  double meanInterarrival = 369.0;  ///< seconds (CTC average, paper §4)
+  /// Daily cycle: instantaneous rate is scaled by
+  /// 1 + amplitude * sin(2*pi*(t - phase)/86400); 0 disables the cycle.
+  double dailyCycleAmplitude = 0.5;
+  double dailyCyclePhase = 0.0;
+  /// With probability burstProbability an arrival is a script burst of
+  /// Uniform[2, burstMax] near-simultaneous submissions of similar jobs.
+  double burstProbability = 0.02;
+  int burstMax = 12;
+};
+
+struct EstimateModel {
+  /// estimate = runtime * logUniform(1, maxFactor), then rounded up to the
+  /// granularity. maxFactor 1 gives perfect estimates.
+  double maxFactor = 8.0;
+  Time granularity = 300;  ///< users request in 5-minute steps
+};
+
+struct SyntheticModel {
+  std::string name = "synthetic";
+  NodeCount machineSize = 430;
+  ArrivalModel arrivals;
+  EstimateModel estimates;
+  std::vector<JobClass> classes;
+
+  /// Generates `jobCount` jobs deterministically from `seed`.
+  SwfTrace generate(std::size_t jobCount, std::uint64_t seed) const;
+};
+
+/// CTC-like preset (see file comment for calibration targets).
+SyntheticModel ctcModel();
+
+/// Mostly sequential, short jobs (the paper's "hundreds of short and
+/// sequential jobs" user population) — SJF-friendly.
+SyntheticModel shortJobModel();
+
+/// Mostly wide, long-running jobs — LJF-friendly.
+SyntheticModel longJobModel();
+
+/// Concatenates phases: each (model, jobCount) block in order, with arrival
+/// times continuing across the boundary. Exercises dynP's policy switching.
+SwfTrace generatePhased(
+    const std::vector<std::pair<SyntheticModel, std::size_t>>& phases,
+    std::uint64_t seed);
+
+}  // namespace dynsched::trace

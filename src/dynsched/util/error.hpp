@@ -1,0 +1,47 @@
+// Lightweight runtime checking used across dynsched.
+//
+// DYNSCHED_CHECK is for conditions that indicate API misuse or internal
+// invariant violations; it throws (rather than aborting) so tests can assert
+// on failures and long simulations can report context before dying.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dynsched {
+
+/// Exception thrown by DYNSCHED_CHECK on a failed invariant.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throwCheckError(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dynsched
+
+#define DYNSCHED_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dynsched::detail::throwCheckError(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DYNSCHED_CHECK_MSG(cond, msg)                                  \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::dynsched::detail::throwCheckError(#cond, __FILE__, __LINE__,   \
+                                          os_.str());                  \
+    }                                                                  \
+  } while (false)

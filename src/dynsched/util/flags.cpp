@@ -1,0 +1,141 @@
+#include "dynsched/util/flags.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/strings.hpp"
+
+namespace dynsched::util {
+
+FlagSet::FlagSet(std::string programName)
+    : programName_(std::move(programName)) {}
+
+FlagSet::Flag& FlagSet::addFlag(const std::string& name, Kind kind,
+                                const std::string& help) {
+  DYNSCHED_CHECK_MSG(!flags_.contains(name), "duplicate flag --" << name);
+  Flag& flag = flags_[name];
+  flag.kind = kind;
+  flag.help = help;
+  return flag;
+}
+
+std::int64_t& FlagSet::addInt(const std::string& name,
+                              std::int64_t defaultValue,
+                              const std::string& help) {
+  Flag& flag = addFlag(name, Kind::Int, help);
+  flag.intValue = std::make_unique<std::int64_t>(defaultValue);
+  flag.defaultText = std::to_string(defaultValue);
+  return *flag.intValue;
+}
+
+double& FlagSet::addDouble(const std::string& name, double defaultValue,
+                           const std::string& help) {
+  Flag& flag = addFlag(name, Kind::Double, help);
+  flag.doubleValue = std::make_unique<double>(defaultValue);
+  flag.defaultText = std::to_string(defaultValue);
+  return *flag.doubleValue;
+}
+
+std::string& FlagSet::addString(const std::string& name,
+                                const std::string& defaultValue,
+                                const std::string& help) {
+  Flag& flag = addFlag(name, Kind::String, help);
+  flag.stringValue = std::make_unique<std::string>(defaultValue);
+  flag.defaultText = '"' + defaultValue + '"';
+  return *flag.stringValue;
+}
+
+bool& FlagSet::addBool(const std::string& name, bool defaultValue,
+                       const std::string& help) {
+  Flag& flag = addFlag(name, Kind::Bool, help);
+  flag.boolValue = std::make_unique<bool>(defaultValue);
+  flag.defaultText = defaultValue ? "true" : "false";
+  return *flag.boolValue;
+}
+
+void FlagSet::setValue(const std::string& name, Flag& flag,
+                       const std::string& text) {
+  switch (flag.kind) {
+    case Kind::Int: {
+      const auto v = parseInt(text);
+      DYNSCHED_CHECK_MSG(v.has_value(),
+                         "--" << name << ": expected integer, got '" << text
+                              << "'");
+      *flag.intValue = *v;
+      break;
+    }
+    case Kind::Double: {
+      const auto v = parseDouble(text);
+      DYNSCHED_CHECK_MSG(v.has_value(), "--" << name
+                                             << ": expected number, got '"
+                                             << text << "'");
+      *flag.doubleValue = *v;
+      break;
+    }
+    case Kind::String:
+      *flag.stringValue = text;
+      break;
+    case Kind::Bool: {
+      const std::string lower = toLower(text);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        *flag.boolValue = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        *flag.boolValue = false;
+      } else {
+        DYNSCHED_CHECK_MSG(false, "--" << name << ": expected bool, got '"
+                                       << text << "'");
+      }
+      break;
+    }
+  }
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!startsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::cout << usage();
+      return false;
+    }
+    std::string name = arg;
+    std::string value;
+    bool haveValue = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      haveValue = true;
+    }
+    const auto it = flags_.find(name);
+    DYNSCHED_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+    Flag& flag = it->second;
+    if (!haveValue) {
+      if (flag.kind == Kind::Bool) {
+        *flag.boolValue = true;  // bare --flag turns a boolean on
+        continue;
+      }
+      DYNSCHED_CHECK_MSG(i + 1 < argc, "--" << name << " needs a value");
+      value = argv[++i];
+    }
+    setValue(name, flag, value);
+  }
+  return true;
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << "Usage: " << programName_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  " << flag.help << " (default "
+       << flag.defaultText << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace dynsched::util

@@ -1,0 +1,63 @@
+// Tiny declarative command-line flag parser for examples and benches.
+//
+//   util::FlagSet flags("quickstart");
+//   auto& nodes = flags.addInt("nodes", 430, "machine size");
+//   auto& trace = flags.addString("trace", "", "SWF file (empty = synthetic)");
+//   flags.parse(argc, argv);      // throws CheckError on unknown flags
+//
+// Accepted syntax: --name=value, --name value, and --flag for booleans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynsched::util {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string programName);
+
+  std::int64_t& addInt(const std::string& name, std::int64_t defaultValue,
+                       const std::string& help);
+  double& addDouble(const std::string& name, double defaultValue,
+                    const std::string& help);
+  std::string& addString(const std::string& name,
+                         const std::string& defaultValue,
+                         const std::string& help);
+  bool& addBool(const std::string& name, bool defaultValue,
+                const std::string& help);
+
+  /// Parses argv; on "--help" prints usage and returns false (caller should
+  /// exit). Throws CheckError on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Remaining non-flag arguments after parse().
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Bool };
+
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string defaultText;
+    std::unique_ptr<std::int64_t> intValue;
+    std::unique_ptr<double> doubleValue;
+    std::unique_ptr<std::string> stringValue;
+    std::unique_ptr<bool> boolValue;
+  };
+
+  Flag& addFlag(const std::string& name, Kind kind, const std::string& help);
+  void setValue(const std::string& name, Flag& flag, const std::string& text);
+
+  std::string programName_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dynsched::util

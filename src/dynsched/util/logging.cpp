@@ -1,0 +1,71 @@
+#include "dynsched/util/logging.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::util {
+
+namespace {
+
+std::atomic<LogLevel>& globalLevel() {
+  static std::atomic<LogLevel> level{LogLevel::Warn};
+  return level;
+}
+
+}  // namespace
+
+LogLevel logLevel() { return globalLevel().load(std::memory_order_relaxed); }
+
+LogLevel setLogLevel(LogLevel level) {
+  return globalLevel().exchange(level, std::memory_order_relaxed);
+}
+
+LogLevel parseLogLevel(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  DYNSCHED_CHECK_MSG(false, "unknown log level '" << name << "'");
+}
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= logLevel() && level != LogLevel::Off) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << '[' << logLevelName(level) << "] " << base << ':' << line
+            << ": ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::clog << stream_.str() << std::flush;
+  }
+}
+
+}  // namespace detail
+}  // namespace dynsched::util

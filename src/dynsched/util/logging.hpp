@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator and the MIP solver emit progress at Info/Debug; benches run
+// with Warn so their stdout stays machine-readable. Not thread-safe beyond
+// line atomicity (each log call formats into one string and writes once).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dynsched::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel logLevel();
+
+/// Sets the process-wide minimum level. Returns the previous level.
+LogLevel setLogLevel(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parseLogLevel(const std::string& name);
+
+const char* logLevelName(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace dynsched::util
+
+#define DYNSCHED_LOG(level)                                        \
+  ::dynsched::util::detail::LogLine(::dynsched::util::LogLevel::level, \
+                                    __FILE__, __LINE__)

@@ -1,0 +1,127 @@
+#include "dynsched/util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dynsched::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = text.find(delim, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(text.substr(pos));
+      return out;
+    }
+    out.emplace_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+std::vector<std::string> splitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    std::size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string toLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parseInt(std::string_view text) {
+  const std::string_view t = trim(text);
+  if (t.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc() || ptr != t.data() + t.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parseDouble(std::string_view text) {
+  const std::string_view t = trim(text);
+  if (t.empty()) return std::nullopt;
+  // std::from_chars<double> is available in libstdc++ 11+; use it directly.
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc() || ptr != t.data() + t.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parseMemorySize(std::string_view text) {
+  std::string t = toLower(std::string(trim(text)));
+  if (t.empty()) return std::nullopt;
+  if (t.back() == 'b') t.pop_back();
+  if (t.empty()) return std::nullopt;
+  std::uint64_t multiplier = 1;
+  switch (t.back()) {
+    case 'k': multiplier = 1024ULL; t.pop_back(); break;
+    case 'm': multiplier = 1024ULL * 1024; t.pop_back(); break;
+    case 'g': multiplier = 1024ULL * 1024 * 1024; t.pop_back(); break;
+    case 't': multiplier = 1024ULL * 1024 * 1024 * 1024; t.pop_back(); break;
+    default: break;
+  }
+  const auto number = parseDouble(t);
+  if (!number || *number < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(*number * static_cast<double>(multiplier));
+}
+
+std::string formatMemorySize(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", b / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1024.0 * 1024));
+  } else if (bytes >= 1024ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string formatThousands(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+}  // namespace dynsched::util

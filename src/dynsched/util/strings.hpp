@@ -1,0 +1,42 @@
+// Small string helpers used by the SWF parser, the flag parser and the
+// bench table printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynsched::util {
+
+/// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+
+std::string toLower(std::string_view text);
+
+/// Strict integer parse of the whole (trimmed) string.
+std::optional<std::int64_t> parseInt(std::string_view text);
+
+/// Strict floating-point parse of the whole (trimmed) string.
+std::optional<double> parseDouble(std::string_view text);
+
+/// Parses "8G", "512MB", "1024", "64k" (case-insensitive, optional B suffix)
+/// into bytes. Returns nullopt on malformed input.
+std::optional<std::uint64_t> parseMemorySize(std::string_view text);
+
+/// Formats a byte count as "8.0 GB" / "512.0 MB" / "13 B".
+std::string formatMemorySize(std::uint64_t bytes);
+
+/// Formats an integer with thousands separators ("1,798,384" — Table 1 style).
+std::string formatThousands(std::int64_t value);
+
+}  // namespace dynsched::util

@@ -1,0 +1,70 @@
+#include "dynsched/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), align_(header_.size(), Align::Right) {
+  DYNSCHED_CHECK(!header_.empty());
+}
+
+void TextTable::setAlign(std::size_t column, Align align) {
+  DYNSCHED_CHECK(column < align_.size());
+  align_[column] = align;
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  DYNSCHED_CHECK_MSG(cells.size() == header_.size(),
+                     "row arity " << cells.size() << " != header arity "
+                                  << header_.size());
+  rows_.push_back(Row{pendingRule_, std::move(cells)});
+  pendingRule_ = false;
+}
+
+void TextTable::addRule() { pendingRule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+  }
+
+  const auto renderCells = [&](const std::vector<std::string>& cells,
+                               std::ostringstream& os) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      os << (c == 0 ? "| " : " | ");
+      if (align_[c] == Align::Right) os << std::string(pad, ' ');
+      os << cells[c];
+      if (align_[c] == Align::Left) os << std::string(pad, ' ');
+    }
+    os << " |\n";
+  };
+
+  const auto renderRule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+    }
+    os << "-|\n";
+  };
+
+  std::ostringstream os;
+  renderRule(os);
+  renderCells(header_, os);
+  renderRule(os);
+  for (const Row& row : rows_) {
+    if (row.ruleBefore) renderRule(os);
+    renderCells(row.cells, os);
+  }
+  renderRule(os);
+  return os.str();
+}
+
+}  // namespace dynsched::util

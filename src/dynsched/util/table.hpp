@@ -1,0 +1,46 @@
+// Plain-text table rendering for the bench binaries.
+//
+// Table 1 of the paper is a wide numeric table; the benches print the same
+// rows through this helper so every reproduction artifact has a uniform,
+// diff-friendly layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynsched::util {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Declares the header row; every later row must have the same arity.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Column alignment (default: Right, which suits numeric tables).
+  void setAlign(std::size_t column, Align align);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row (used to set the
+  /// paper's "averages" row apart).
+  void addRule();
+
+  /// Renders with column separators and padded cells.
+  std::string render() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool ruleBefore = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+  bool pendingRule_ = false;
+};
+
+}  // namespace dynsched::util

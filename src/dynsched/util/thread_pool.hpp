@@ -1,0 +1,63 @@
+// Fixed-size thread pool.
+//
+// Used where the framework has embarrassingly parallel work: evaluating the
+// three policy schedules of a self-tuning step concurrently, and running
+// independent ILP instances of an offline study in parallel. The design
+// follows the C++ Core Guidelines concurrency rules: RAII joins all workers
+// (CP.23-style joining threads), tasks communicate results via futures
+// rather than shared mutable state.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dynsched::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1). Default: hardware concurrency.
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task; the returned future yields its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count) on the pool and waits for completion.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace dynsched::util

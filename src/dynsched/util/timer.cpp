@@ -1,0 +1,52 @@
+#include "dynsched/util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dynsched::util {
+
+std::string formatHms(double seconds) {
+  const bool negative = seconds < 0;
+  long long total = static_cast<long long>(std::llround(std::fabs(seconds)));
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld",
+                negative ? "-" : "", h, m, s);
+  return buf;
+}
+
+std::string formatDuration(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (a < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (a < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string formatSimTime(Time t) {
+  const bool negative = t < 0;
+  Time a = negative ? -t : t;
+  const Time days = a / 86400;
+  const Time h = (a % 86400) / 3600;
+  const Time m = (a % 3600) / 60;
+  const Time s = a % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace dynsched::util

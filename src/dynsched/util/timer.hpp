@@ -1,0 +1,40 @@
+// Wall-clock timing and the paper's "hr. min. sec." duration formatting
+// (Table 1 reports ILP compute times that way).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "dynsched/util/types.hpp"
+
+namespace dynsched::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/restart.
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsedMilliseconds() const { return elapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as "H:MM:SS" (Table 1 style).
+std::string formatHms(double seconds);
+
+/// Formats a duration compactly: "532ms", "12.3s", "2.1h", ...
+std::string formatDuration(double seconds);
+
+/// Formats a second-resolution simulation timestamp as "d+hh:mm:ss".
+std::string formatSimTime(Time t);
+
+}  // namespace dynsched::util

@@ -1,0 +1,29 @@
+// Common scalar types shared by every dynsched module.
+//
+// All simulation clocks are integral seconds (the paper's RMS granularity,
+// Section 3.2: "The smallest time step in resource management systems is
+// usually one second"). Using a signed 64-bit type keeps arithmetic on
+// accumulated runtimes (sum over ~80k jobs of multi-hour runtimes) safe.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dynsched {
+
+/// Simulation time and durations, in whole seconds.
+using Time = std::int64_t;
+
+/// Number of processors/nodes a job occupies ("width" w_i in the paper).
+using NodeCount = std::int32_t;
+
+/// Stable identifier of a job inside a trace or a scheduling instance.
+using JobId = std::int64_t;
+
+/// Sentinel for "no time assigned yet" (e.g. a job without a planned start).
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// Practical upper bound for horizons; avoids overflow in t*width products.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+}  // namespace dynsched

@@ -1,0 +1,316 @@
+// Simplex solver tests: hand-checked instances, degenerate/edge cases, and
+// randomized property tests that certify optimality through the returned
+// duals (feasible point + dual feasibility + complementary slackness on
+// bounds is a full optimality certificate for an LP).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dynsched/lp/model.hpp"
+#include "dynsched/lp/simplex.hpp"
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(LpModel, BuildsAndEvaluates) {
+  LpModel m;
+  const int x = m.addVariable(0, 10, 1.0, "x");
+  const int y = m.addVariable(0, 10, 2.0, "y");
+  m.addRow(-kInf, 8.0, {{x, 1.0}, {y, 1.0}}, "sum");
+  EXPECT_EQ(m.numVariables(), 2);
+  EXPECT_EQ(m.numRows(), 1);
+  EXPECT_EQ(m.numNonZeros(), 2u);
+  const std::vector<double> point{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.objectiveValue(point), 11.0);
+  EXPECT_DOUBLE_EQ(m.rowActivity(point)[0], 7.0);
+  EXPECT_TRUE(m.isFeasible(point));
+  EXPECT_FALSE(m.isFeasible({5.0, 4.0}));
+}
+
+TEST(LpModel, DuplicateEntriesAccumulate) {
+  LpModel m;
+  const int x = m.addVariable(0, 1, 0.0);
+  const int r = m.addRow(0, 1);
+  m.addEntry(r, x, 0.5);
+  m.addEntry(r, x, 0.25);
+  EXPECT_EQ(m.numNonZeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.rowActivity({1.0})[0], 0.75);
+}
+
+TEST(Simplex, TrivialBoundsOnly) {
+  // No rows: minimum sits at the cheap bound of each variable.
+  LpModel m;
+  m.addVariable(2, 5, 3.0);    // min at lb
+  m.addVariable(-4, -1, -2.0); // min at ub
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+  EXPECT_NEAR(s.x[1], -1.0, kTol);
+  EXPECT_NEAR(s.objective, 2 * 3.0 + (-1) * -2.0, kTol);
+}
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3a + 5b s.t. a<=4, 2b<=12, 3a+2b<=18  (classic Dantzig example)
+  // -> a=2, b=6, optimum 36. We minimize the negation.
+  LpModel m;
+  const int a = m.addVariable(0, kInf, -3.0);
+  const int b = m.addVariable(0, kInf, -5.0);
+  m.addRow(-kInf, 4.0, {{a, 1.0}});
+  m.addRow(-kInf, 12.0, {{b, 2.0}});
+  m.addRow(-kInf, 18.0, {{a, 3.0}, {b, 2.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -36.0, kTol);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+  EXPECT_NEAR(s.x[1], 6.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x+y s.t. x+y = 5, 0<=x,y<=10 — any split, objective 5.
+  LpModel m;
+  const int x = m.addVariable(0, 10, 1.0);
+  const int y = m.addVariable(0, 10, 1.0);
+  m.addRow(5.0, 5.0, {{x, 1.0}, {y, 1.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 5.0, kTol);
+  EXPECT_NEAR(s.x[0] + s.x[1], 5.0, kTol);
+}
+
+TEST(Simplex, RangeRow) {
+  // min x s.t. 3 <= x + y <= 7, y <= 1 -> x = 2 at y = 1.
+  LpModel m;
+  const int x = m.addVariable(0, kInf, 1.0);
+  const int y = m.addVariable(0, 1, 0.0);
+  m.addRow(3.0, 7.0, {{x, 1.0}, {y, 1.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpModel m;
+  const int x = m.addVariable(0, 1, 1.0);
+  m.addRow(5.0, kInf, {{x, 1.0}});  // x >= 5 with x <= 1
+  const LpSolution s = solveLp(m);
+  EXPECT_EQ(s.status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleSystem) {
+  // x + y >= 6 and x + y <= 2.
+  LpModel m;
+  const int x = m.addVariable(0, 10, 1.0);
+  const int y = m.addVariable(0, 10, 1.0);
+  m.addRow(6.0, kInf, {{x, 1.0}, {y, 1.0}});
+  m.addRow(-kInf, 2.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(solveLp(m).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel m;
+  const int x = m.addVariable(0, kInf, -1.0);  // minimize -x, x unbounded
+  m.addRow(0.0, kInf, {{x, 1.0}});
+  EXPECT_EQ(solveLp(m).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, FixedVariablesDoNotCycle) {
+  LpModel m;
+  const int x = m.addVariable(3, 3, -10.0);  // fixed, attractive cost
+  const int y = m.addVariable(0, 5, 1.0);
+  m.addRow(4.0, kInf, {{x, 1.0}, {y, 1.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[0], 3.0, kTol);
+  EXPECT_NEAR(s.x[1], 1.0, kTol);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y, x in [-5, 5], y in [-2, 8], x + y >= -4.
+  LpModel m;
+  const int x = m.addVariable(-5, 5, 1.0);
+  const int y = m.addVariable(-2, 8, 1.0);
+  m.addRow(-4.0, kInf, {{x, 1.0}, {y, 1.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -4.0, kTol);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x s.t. x >= y - 3, y = 2, x free  ->  x = -1.
+  LpModel m;
+  const int x = m.addVariable(-kInf, kInf, 1.0);
+  const int y = m.addVariable(2, 2, 0.0);
+  m.addRow(-3.0, kInf, {{x, 1.0}, {y, -1.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -1.0, kTol);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Many redundant constraints through one vertex; Bland fallback must
+  // terminate and find the optimum.
+  LpModel m;
+  const int x = m.addVariable(0, kInf, -1.0);
+  const int y = m.addVariable(0, kInf, -1.0);
+  for (int i = 0; i < 8; ++i) {
+    m.addRow(-kInf, 4.0,
+             {{x, 1.0 + 0.0 * i}, {y, 1.0}});  // identical rows
+  }
+  m.addRow(-kInf, 4.0, {{x, 2.0}, {y, 1.0}});
+  m.addRow(-kInf, 4.0, {{x, 1.0}, {y, 2.0}});
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -(4.0 / 3.0 + 4.0 / 3.0), 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: on random instances with a known feasible point, the solver
+// must return Optimal and its (x, duals) must pass the optimality
+// certificate: primal feasibility, dual sign feasibility on row activities,
+// and correct reduced-cost signs at the variable bounds.
+// ---------------------------------------------------------------------------
+
+struct RandomLpCase {
+  std::uint64_t seed;
+  int vars;
+  int rows;
+};
+
+class SimplexRandomTest : public ::testing::TestWithParam<RandomLpCase> {};
+
+TEST_P(SimplexRandomTest, OptimalWithValidCertificate) {
+  const RandomLpCase param = GetParam();
+  util::Rng rng(param.seed);
+  LpModel m;
+  // Random bounded variables and a random interior point that we make
+  // feasible by construction (rows are built around its activities).
+  std::vector<double> point;
+  for (int j = 0; j < param.vars; ++j) {
+    const double lb = rng.uniform(-5, 0);
+    const double ub = lb + rng.uniform(0.5, 8);
+    m.addVariable(lb, ub, rng.uniform(-3, 3));
+    point.push_back(rng.uniform(lb, ub));
+  }
+  for (int r = 0; r < param.rows; ++r) {
+    std::vector<std::pair<int, double>> entries;
+    double activity = 0;
+    for (int j = 0; j < param.vars; ++j) {
+      if (!rng.bernoulli(0.6)) continue;
+      const double coef = rng.uniform(-2, 2);
+      entries.emplace_back(j, coef);
+      activity += coef * point[static_cast<std::size_t>(j)];
+    }
+    if (entries.empty()) continue;
+    switch (rng.uniformInt(0, 2)) {
+      case 0:  // <= with slack
+        m.addRow(-kInf, activity + rng.uniform(0, 2), entries);
+        break;
+      case 1:  // >= with slack
+        m.addRow(activity - rng.uniform(0, 2), kInf, entries);
+        break;
+      default:  // range containing the point
+        m.addRow(activity - rng.uniform(0, 1), activity + rng.uniform(0, 1),
+                 entries);
+        break;
+    }
+  }
+
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal) << "seed " << param.seed;
+  ASSERT_TRUE(m.isFeasible(s.x, 1e-5));
+  EXPECT_LE(s.objective, m.objectiveValue(point) + 1e-6);
+
+  // Optimality certificate from the duals.
+  ASSERT_EQ(static_cast<int>(s.duals.size()), m.numRows());
+  const std::vector<double> activity = m.rowActivity(s.x);
+  for (int r = 0; r < m.numRows(); ++r) {
+    const double y = s.duals[static_cast<std::size_t>(r)];
+    const bool atLower =
+        activity[static_cast<std::size_t>(r)] <= m.rowLower(r) + 1e-5;
+    const bool atUpper =
+        activity[static_cast<std::size_t>(r)] >= m.rowUpper(r) - 1e-5;
+    // Minimization with A x = s convention: y > 0 requires the activity at
+    // its lower row bound, y < 0 at its upper (complementary slackness).
+    if (y > 1e-5) EXPECT_TRUE(atLower) << "row " << r << " seed " << param.seed;
+    if (y < -1e-5) EXPECT_TRUE(atUpper) << "row " << r << " seed " << param.seed;
+  }
+  for (int j = 0; j < m.numVariables(); ++j) {
+    double rc = m.objectiveCoef(j);
+    for (const ColumnEntry& e : m.column(j)) {
+      rc -= s.duals[static_cast<std::size_t>(e.row)] * e.value;
+    }
+    const double v = s.x[static_cast<std::size_t>(j)];
+    const bool atLower = v <= m.columnLower(j) + 1e-5;
+    const bool atUpper = v >= m.columnUpper(j) - 1e-5;
+    if (rc > 1e-5) {
+      EXPECT_TRUE(atLower) << "var " << j << " rc " << rc << " seed "
+                           << param.seed;
+    } else if (rc < -1e-5) {
+      EXPECT_TRUE(atUpper) << "var " << j << " rc " << rc << " seed "
+                           << param.seed;
+    }
+  }
+}
+
+// Equality-heavy instances (assignment-like rows) anchored at a feasible
+// point — the shape of the time-indexed models' Eq. 3 rows.
+class SimplexEqualityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexEqualityTest, SolvesEqualityHeavySystems) {
+  util::Rng rng(GetParam());
+  LpModel m;
+  const int vars = static_cast<int>(rng.uniformInt(4, 20));
+  std::vector<double> point;
+  for (int j = 0; j < vars; ++j) {
+    const double lb = 0.0, ub = rng.uniform(1, 4);
+    m.addVariable(lb, ub, rng.uniform(-2, 2));
+    point.push_back(rng.uniform(lb, ub));
+  }
+  const int eqRows = static_cast<int>(rng.uniformInt(1, vars / 2 + 1));
+  for (int r = 0; r < eqRows; ++r) {
+    std::vector<std::pair<int, double>> entries;
+    double activity = 0;
+    for (int j = 0; j < vars; ++j) {
+      if (!rng.bernoulli(0.5)) continue;
+      const double coef = rng.uniform(0.2, 2);  // positive, like Eq. 3/4
+      entries.emplace_back(j, coef);
+      activity += coef * point[static_cast<std::size_t>(j)];
+    }
+    if (entries.empty()) continue;
+    m.addRow(activity, activity, entries);  // equality through the point
+  }
+  const LpSolution s = solveLp(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal) << "seed " << GetParam();
+  EXPECT_TRUE(m.isFeasible(s.x, 1e-5));
+  EXPECT_LE(s.objective, m.objectiveValue(point) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SimplexEqualityTest,
+                         ::testing::Range<std::uint64_t>(3000, 3030));
+
+std::vector<RandomLpCase> randomLpCases() {
+  std::vector<RandomLpCase> cases;
+  std::uint64_t seed = 1000;
+  for (const int vars : {2, 3, 5, 8, 12, 20}) {
+    for (const int rows : {1, 3, 6, 12}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        cases.push_back(RandomLpCase{seed++, vars, rows});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SimplexRandomTest,
+                         ::testing::ValuesIn(randomLpCases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_v" + std::to_string(info.param.vars) +
+                                  "_r" + std::to_string(info.param.rows);
+                         });
+
+}  // namespace
+}  // namespace dynsched::lp

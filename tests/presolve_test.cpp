@@ -1,0 +1,153 @@
+// Presolve and MPS-writer tests.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dynsched/lp/mps_writer.hpp"
+#include "dynsched/lp/presolve.hpp"
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::lp {
+namespace {
+
+TEST(Presolve, FixedVariablesSubstituted) {
+  LpModel m;
+  const int x = m.addVariable(3, 3, 1.0);   // fixed at 3
+  const int y = m.addVariable(0, 10, 2.0);
+  m.addRow(5, kInf, {{x, 1.0}, {y, 1.0}});  // y >= 2 after substitution
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.removedColumns, 1u);
+  EXPECT_EQ(pre.reduced.numVariables(), 1);
+  EXPECT_DOUBLE_EQ(pre.reduced.rowLower(0), 2.0);
+  const LpSolution s = solvePresolved(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, 3.0 + 4.0, 1e-9);
+}
+
+TEST(Presolve, RedundantRowsRemoved) {
+  LpModel m;
+  const int x = m.addVariable(0, 1, 1.0);
+  m.addRow(-kInf, 5.0, {{x, 1.0}});  // activity range [0,1] within bound
+  m.addRow(0.5, kInf, {{x, 1.0}});   // binding: kept
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.removedRows, 1u);
+  EXPECT_EQ(pre.reduced.numRows(), 1);
+  const LpSolution s = solvePresolved(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 0.5, 1e-9);
+}
+
+TEST(Presolve, EmptyColumnsGoToCheaperBound) {
+  LpModel m;
+  m.addVariable(-2, 7, 3.0);   // no rows: min at lb
+  m.addVariable(-2, 7, -3.0);  // min at ub
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.numVariables(), 0);
+  const LpSolution s = solvePresolved(m);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[0], -2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 7.0, 1e-9);
+}
+
+TEST(Presolve, DetectsTrivialInfeasibility) {
+  LpModel m;
+  const int x = m.addVariable(2, 2, 1.0);  // fixed
+  m.addRow(5.0, kInf, {{x, 1.0}});         // 2 >= 5: impossible
+  const PresolveResult pre = presolve(m);
+  EXPECT_TRUE(pre.provenInfeasible);
+  EXPECT_EQ(solvePresolved(m).status, LpStatus::Infeasible);
+}
+
+TEST(Presolve, RestoreRoundTrips) {
+  LpModel m;
+  const int a = m.addVariable(1, 1, 0.0);
+  const int b = m.addVariable(0, 5, 1.0);
+  const int c = m.addVariable(0, 5, 1.0);
+  m.addRow(3, kInf, {{a, 1.0}, {b, 1.0}, {c, 1.0}});
+  const PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.reduced.numVariables(), 2);
+  const std::vector<double> x = pre.restore({1.5, 0.5});
+  EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(a)], 1.0);
+  EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(b)], 1.5);
+  EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(c)], 0.5);
+}
+
+class PresolveRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PresolveRandomTest, SameOptimumAsDirectSolve) {
+  util::Rng rng(GetParam());
+  LpModel m;
+  const int vars = static_cast<int>(rng.uniformInt(3, 15));
+  std::vector<double> point;
+  for (int j = 0; j < vars; ++j) {
+    double lb = rng.uniform(-4, 0);
+    double ub = lb + rng.uniform(0, 6);
+    if (rng.bernoulli(0.2)) ub = lb;  // some fixed variables
+    m.addVariable(lb, ub, rng.uniform(-3, 3));
+    point.push_back(rng.uniform(lb, ub));
+  }
+  const int rows = static_cast<int>(rng.uniformInt(1, 10));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> entries;
+    double activity = 0;
+    for (int j = 0; j < vars; ++j) {
+      if (!rng.bernoulli(0.5)) continue;
+      const double coef = rng.uniform(-2, 2);
+      entries.emplace_back(j, coef);
+      activity += coef * point[static_cast<std::size_t>(j)];
+    }
+    if (entries.empty()) continue;
+    // Occasionally very loose rows so the redundancy reduction fires.
+    const double slack = rng.bernoulli(0.3) ? 1000.0 : rng.uniform(0, 2);
+    m.addRow(-kInf, activity + slack, entries);
+  }
+  const LpSolution direct = solveLp(m);
+  const LpSolution pre = solvePresolved(m);
+  ASSERT_EQ(direct.status, LpStatus::Optimal) << "seed " << GetParam();
+  ASSERT_EQ(pre.status, LpStatus::Optimal) << "seed " << GetParam();
+  EXPECT_NEAR(pre.objective, direct.objective, 1e-6) << "seed " << GetParam();
+  EXPECT_TRUE(m.isFeasible(pre.x, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PresolveRandomTest,
+                         ::testing::Range<std::uint64_t>(8000, 8030));
+
+// ---------------------------------------------------------------------------
+// MPS writer.
+// ---------------------------------------------------------------------------
+
+TEST(MpsWriter, EmitsAllSections) {
+  LpModel m;
+  const int x = m.addVariable(0, 1, 2.5, "x1");
+  const int y = m.addVariable(-kInf, kInf, -1.0, "yfree");
+  const int z = m.addVariable(2, 2, 0.0, "zfix");
+  m.addRow(-kInf, 4.0, {{x, 1.0}, {y, 2.0}}, "cap");
+  m.addRow(1.0, 1.0, {{x, 1.0}, {z, 1.0}}, "assign");
+  m.addRow(1.0, 3.0, {{y, 1.0}}, "range");
+  std::ostringstream out;
+  MpsOptions options;
+  options.integerColumns = {true, false, false};
+  writeMps(m, out, options);
+  const std::string text = out.str();
+  for (const char* needle :
+       {"NAME", "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS", "ENDATA",
+        " L  cap", " E  assign", " L  range", "INTORG", "INTEND", "x1",
+        "yfree", " FR BND  yfree", " FX BND  zfix  2"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(MpsWriter, GeneratesNamesWhenAbsent) {
+  LpModel m;
+  const int x = m.addVariable(0, 1, 1.0);
+  m.addRow(0, 1, {{x, 1.0}});
+  std::ostringstream out;
+  writeMps(m, out);
+  EXPECT_NE(out.str().find("C000000"), std::string::npos);
+  EXPECT_NE(out.str().find("R000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynsched::lp

@@ -1,0 +1,315 @@
+// Discrete-event RMS simulator tests: conservation, timing semantics,
+// early-completion replanning, policy switching, snapshot capture.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/trace/filters.hpp"
+#include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::sim {
+namespace {
+
+core::Job makeJob(JobId id, Time submit, NodeCount width, Time estimate,
+                  Time actual = 0) {
+  core::Job j;
+  j.id = id;
+  j.submit = submit;
+  j.width = width;
+  j.estimate = estimate;
+  j.actualRuntime = actual > 0 ? actual : estimate;
+  return j;
+}
+
+SimOptions fixedPolicy(core::PolicyKind policy) {
+  SimOptions o;
+  o.kind = SchedulerKind::FixedPolicy;
+  o.fixedPolicy = policy;
+  return o;
+}
+
+TEST(Simulator, SingleJobRunsImmediately) {
+  RmsSimulator sim(core::Machine{16}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report = sim.run({makeJob(1, 100, 8, 50)});
+  ASSERT_EQ(report.completed.size(), 1u);
+  EXPECT_EQ(report.completed[0].start, 100);
+  EXPECT_EQ(report.completed[0].end, 150);
+  EXPECT_EQ(report.completed[0].waitTime(), 0);
+}
+
+TEST(Simulator, FullMachineJobsSerialize) {
+  RmsSimulator sim(core::Machine{8}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report = sim.run(
+      {makeJob(1, 0, 8, 100), makeJob(2, 0, 8, 100), makeJob(3, 0, 8, 100)});
+  ASSERT_EQ(report.completed.size(), 3u);
+  std::vector<Time> starts;
+  for (const auto& c : report.completed) starts.push_back(c.start);
+  std::sort(starts.begin(), starts.end());
+  EXPECT_EQ(starts, (std::vector<Time>{0, 100, 200}));
+  EXPECT_EQ(report.simulatedSpan, 300);
+}
+
+TEST(Simulator, AllJobsCompleteExactlyOnce) {
+  const auto trace = trace::ctcModel().generate(300, 17);
+  RmsSimulator sim(core::Machine{430}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report = sim.run(core::fromSwf(trace));
+  ASSERT_EQ(report.completed.size(), 300u);
+  std::set<JobId> ids;
+  for (const auto& c : report.completed) {
+    ids.insert(c.job.id);
+    EXPECT_GE(c.start, c.job.submit);
+    EXPECT_EQ(c.end - c.start, c.job.actualRuntime);
+  }
+  EXPECT_EQ(ids.size(), 300u);
+}
+
+TEST(Simulator, EarlyCompletionTriggersReplan) {
+  // Job 1 estimates 1000 s but runs 100 s. Job 2 (full machine) is planned
+  // for t=1000 but must start at 100 when the machine frees up early.
+  RmsSimulator sim(core::Machine{8}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report =
+      sim.run({makeJob(1, 0, 8, 1000, 100), makeJob(2, 10, 8, 50)});
+  ASSERT_EQ(report.completed.size(), 2u);
+  const auto* second = &report.completed[1];
+  if (second->job.id != 2) second = &report.completed[0];
+  EXPECT_EQ(second->start, 100);
+}
+
+TEST(Simulator, BackfillingHappensOnline) {
+  // 60/100 nodes busy 1000 s (estimate == actual). FCFS: wide job waits,
+  // narrow job backfills immediately.
+  RmsSimulator sim(core::Machine{100}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report = sim.run({makeJob(9, 0, 60, 1000),
+                               makeJob(1, 10, 70, 500),
+                               makeJob(2, 20, 30, 300)});
+  ASSERT_EQ(report.completed.size(), 3u);
+  Time startWide = -1, startNarrow = -1;
+  for (const auto& c : report.completed) {
+    if (c.job.id == 1) startWide = c.start;
+    if (c.job.id == 2) startNarrow = c.start;
+  }
+  EXPECT_EQ(startWide, 1000);
+  EXPECT_EQ(startNarrow, 20);
+}
+
+TEST(Simulator, EasyBackfillModeRuns) {
+  const auto trace = trace::ctcModel().generate(150, 23);
+  SimOptions options;
+  options.kind = SchedulerKind::EasyBackfill;
+  RmsSimulator sim(core::Machine{430}, options);
+  const auto report = sim.run(core::fromSwf(trace));
+  EXPECT_EQ(report.completed.size(), 150u);
+}
+
+TEST(Simulator, DynPSwitchesOnPhasedWorkload) {
+  // Short-job phase then long-job phase, with arrivals compressed so queues
+  // actually form: dynP must switch at least once and every recorded switch
+  // must alternate policies consistently.
+  const auto trace = trace::scaleArrivals(
+      trace::generatePhased(
+          {{trace::shortJobModel(), 150}, {trace::longJobModel(), 100}}, 3),
+      0.3);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  RmsSimulator sim(core::Machine{430}, options);
+  const auto report = sim.run(core::fromSwf(trace));
+  EXPECT_EQ(report.completed.size(), 250u);
+  EXPECT_GT(report.dynpStats.steps, 0u);
+  EXPECT_GT(report.switches.size(), 0u);
+  for (const PolicySwitch& s : report.switches) {
+    EXPECT_NE(s.from, s.to);
+  }
+  EXPECT_EQ(report.dynpStats.switches, report.switches.size());
+}
+
+TEST(Simulator, SnapshotsCaptureQuasiOfflineInstances) {
+  const auto trace = trace::ctcModel().generate(200, 29);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  options.snapshots.enabled = true;
+  options.snapshots.minWaiting = 3;
+  options.snapshots.maxWaiting = 40;
+  RmsSimulator sim(core::Machine{430}, options);
+  const auto report = sim.run(core::fromSwf(trace));
+  ASSERT_GT(report.snapshots.size(), 0u);
+  for (const StepSnapshot& snap : report.snapshots) {
+    EXPECT_GE(snap.waiting.size(), 3u);
+    EXPECT_LE(snap.waiting.size(), 40u);
+    EXPECT_TRUE(snap.history.valid());
+    EXPECT_EQ(snap.history.startTime(), snap.time);
+    // The warm-start schedule covers exactly the waiting set and is valid.
+    EXPECT_EQ(snap.bestSchedule.size(), snap.waiting.size());
+    EXPECT_EQ(snap.bestSchedule.validate(snap.history), std::nullopt);
+    EXPECT_GE(snap.maxPolicyMakespan, snap.bestSchedule.makespan(snap.time));
+    EXPECT_GT(snap.accumulatedRuntime(), 0);
+    // Every waiting job was submitted no later than the step time.
+    for (const core::Job& job : snap.waiting) {
+      EXPECT_LE(job.submit, snap.time);
+    }
+  }
+}
+
+TEST(Simulator, SnapshotSamplingRespectsEveryNthAndMaxCount) {
+  const auto trace = trace::ctcModel().generate(300, 41);
+  SimOptions base;
+  base.kind = SchedulerKind::DynP;
+  base.snapshots.enabled = true;
+  base.snapshots.minWaiting = 1;
+  RmsSimulator simAll(core::Machine{430}, base);
+  const std::size_t all = simAll.run(core::fromSwf(trace)).snapshots.size();
+
+  SimOptions sampled = base;
+  sampled.snapshots.everyNth = 4;
+  RmsSimulator simSampled(core::Machine{430}, sampled);
+  const std::size_t sampledCount =
+      simSampled.run(core::fromSwf(trace)).snapshots.size();
+  EXPECT_LE(sampledCount, all / 4 + 1);
+
+  SimOptions capped = base;
+  capped.snapshots.maxCount = 5;
+  RmsSimulator simCapped(core::Machine{430}, capped);
+  EXPECT_EQ(simCapped.run(core::fromSwf(trace)).snapshots.size(), 5u);
+}
+
+TEST(Simulator, SnapshotValuesMatchReplayedPlans) {
+  // Fidelity: the per-policy metric values stored in a snapshot must equal
+  // re-planning the captured waiting set against the captured history.
+  const auto trace = trace::ctcModel().generate(200, 83);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  options.snapshots.enabled = true;
+  options.snapshots.minWaiting = 2;
+  RmsSimulator sim(core::Machine{430}, options);
+  const auto report = sim.run(core::fromSwf(trace));
+  ASSERT_GT(report.snapshots.size(), 0u);
+  for (const StepSnapshot& snap : report.snapshots) {
+    const core::MetricEvaluator evaluator(snap.time, 430);
+    for (std::size_t i = 0; i < core::kAllPolicies.size(); ++i) {
+      const core::Schedule replay = core::planSchedule(
+          snap.history, snap.waiting, core::kAllPolicies[i], snap.time);
+      EXPECT_DOUBLE_EQ(snap.values[i],
+                       evaluator.evaluate(replay, core::MetricKind::SldWA));
+    }
+  }
+}
+
+TEST(Simulator, ExtendedPolicyFamilyRunsEndToEnd) {
+  const auto trace = trace::ctcModel().generate(200, 85);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  options.dynp.policies = core::PolicySet(core::kExtendedPolicies.begin(),
+                                          core::kExtendedPolicies.end());
+  RmsSimulator sim(core::Machine{430}, options);
+  const auto report = sim.run(core::fromSwf(trace));
+  EXPECT_EQ(report.completed.size(), 200u);
+  EXPECT_EQ(report.dynpStats.chosenCount.size(), 5u);
+  std::size_t chosen = 0;
+  for (const auto c : report.dynpStats.chosenCount) chosen += c;
+  EXPECT_EQ(chosen, report.dynpStats.steps);
+}
+
+TEST(Simulator, EmptyTraceYieldsEmptyReport) {
+  RmsSimulator sim(core::Machine{8}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report = sim.run({});
+  EXPECT_TRUE(report.completed.empty());
+  EXPECT_EQ(report.simulatedSpan, 0);
+  EXPECT_DOUBLE_EQ(report.avgResponseTime(), 0.0);
+  EXPECT_DOUBLE_EQ(report.utilization(8), 0.0);
+}
+
+TEST(Simulator, ReportMetricsAreConsistent) {
+  RmsSimulator sim(core::Machine{4}, fixedPolicy(core::PolicyKind::Fcfs));
+  const auto report =
+      sim.run({makeJob(1, 0, 4, 100), makeJob(2, 0, 4, 100)});
+  // Responses: 100 and 200; waits 0 and 100; slowdowns 1 and 2.
+  EXPECT_DOUBLE_EQ(report.avgResponseTime(), 150.0);
+  EXPECT_DOUBLE_EQ(report.avgWaitTime(), 50.0);
+  EXPECT_DOUBLE_EQ(report.avgSlowdown(), 1.5);
+  EXPECT_DOUBLE_EQ(report.utilization(4), 1.0);
+  EXPECT_FALSE(report.summary(4).empty());
+}
+
+TEST(Simulator, PoliciesProduceDifferentOutcomes) {
+  // Sanity: on a contended workload SJF yields no worse average slowdown
+  // than LJF (short jobs first reduce waiting of many).
+  const auto trace = trace::shortJobModel().generate(200, 57);
+  auto jobs = core::fromSwf(trace);
+  // Increase contention: shrink the machine.
+  for (auto& j : jobs) j.width = std::min<NodeCount>(j.width, 32);
+  RmsSimulator sjf(core::Machine{32}, fixedPolicy(core::PolicyKind::Sjf));
+  RmsSimulator ljf(core::Machine{32}, fixedPolicy(core::PolicyKind::Ljf));
+  const double sldSjf = sjf.run(jobs).avgSlowdown();
+  const double sldLjf = ljf.run(jobs).avgSlowdown();
+  EXPECT_LE(sldSjf, sldLjf * 1.05);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto trace = trace::ctcModel().generate(250, 97);
+  const auto jobs = core::fromSwf(trace);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  RmsSimulator a(core::Machine{430}, options);
+  RmsSimulator b(core::Machine{430}, options);
+  const auto ra = a.run(jobs);
+  const auto rb = b.run(jobs);
+  ASSERT_EQ(ra.completed.size(), rb.completed.size());
+  for (std::size_t i = 0; i < ra.completed.size(); ++i) {
+    EXPECT_EQ(ra.completed[i].job.id, rb.completed[i].job.id);
+    EXPECT_EQ(ra.completed[i].start, rb.completed[i].start);
+    EXPECT_EQ(ra.completed[i].end, rb.completed[i].end);
+  }
+  EXPECT_EQ(ra.switches.size(), rb.switches.size());
+}
+
+class SimulatorCapacityAudit : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimulatorCapacityAudit, MachineNeverOversubscribed) {
+  // Property: at no instant does the sum of widths of running jobs exceed
+  // the machine, under any scheduler mode.
+  const auto trace = trace::ctcModel().generate(200, GetParam());
+  const auto jobs = core::fromSwf(trace);
+  const NodeCount machine = 430;
+  for (const SchedulerKind kind :
+       {SchedulerKind::FixedPolicy, SchedulerKind::EasyBackfill,
+        SchedulerKind::DynP}) {
+    SimOptions options;
+    options.kind = kind;
+    options.fixedPolicy = core::PolicyKind::Sjf;
+    RmsSimulator sim(core::Machine{machine}, options);
+    const auto report = sim.run(jobs);
+    ASSERT_EQ(report.completed.size(), jobs.size());
+    // Sweep-line audit over start/end events.
+    std::vector<std::pair<Time, NodeCount>> events;
+    for (const auto& c : report.completed) {
+      events.emplace_back(c.start, c.job.width);
+      events.emplace_back(c.end, -c.job.width);
+    }
+    std::sort(events.begin(), events.end());
+    NodeCount busy = 0;
+    for (const auto& [t, delta] : events) {
+      busy += delta;
+      ASSERT_LE(busy, machine)
+          << schedulerKindName(kind) << " oversubscribed at t=" << t;
+      ASSERT_GE(busy, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SimulatorCapacityAudit,
+                         ::testing::Range<std::uint64_t>(300, 310));
+
+TEST(Simulator, DynPNeverLosesJobsUnderRetuneOnEnd) {
+  const auto trace = trace::ctcModel().generate(120, 61);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  options.retuneOnJobEnd = true;
+  RmsSimulator sim(core::Machine{430}, options);
+  EXPECT_EQ(sim.run(core::fromSwf(trace)).completed.size(), 120u);
+}
+
+}  // namespace
+}  // namespace dynsched::sim

@@ -1,0 +1,148 @@
+// End-to-end offline-study tests: simulate a CTC-like trace with dynP,
+// capture self-tuning steps, solve the time-indexed ILPs, and check the
+// Table 1 machinery (quality, perf-loss, averages) behaves like the paper
+// describes.
+#include <gtest/gtest.h>
+
+#include "dynsched/sim/simulator.hpp"
+#include "dynsched/tip/exact.hpp"
+#include "dynsched/tip/study.hpp"
+#include "dynsched/trace/synthetic.hpp"
+
+namespace dynsched::tip {
+namespace {
+
+/// Simulates a small CTC-like trace and returns captured snapshots.
+std::vector<sim::StepSnapshot> captureSnapshots(std::size_t traceJobs,
+                                                std::size_t maxSnapshots,
+                                                std::uint64_t seed) {
+  const auto trace = trace::ctcModel().generate(traceJobs, seed);
+  sim::SimOptions options;
+  options.kind = sim::SchedulerKind::DynP;
+  options.snapshots.enabled = true;
+  options.snapshots.minWaiting = 3;
+  options.snapshots.maxWaiting = 10;
+  options.snapshots.maxCount = maxSnapshots;
+  sim::RmsSimulator simulator(core::Machine{430}, options);
+  return simulator.run(core::fromSwf(trace)).snapshots;
+}
+
+StudyOptions fastOptions() {
+  StudyOptions options;
+  options.mip.maxNodes = 4000;
+  options.mip.timeLimitSeconds = 20;
+  // Keep the grids small for test speed: pretend a small-memory machine so
+  // Eq. 6 picks coarse scales.
+  options.scaling.totalMemoryBytes = 64ULL << 20;
+  return options;
+}
+
+TEST(Study, MakeInstanceAppliesEq6) {
+  const auto snapshots = captureSnapshots(200, 3, 77);
+  ASSERT_FALSE(snapshots.empty());
+  const StudyOptions options = fastOptions();
+  const TipInstance instance = makeInstance(snapshots[0], options);
+  EXPECT_EQ(instance.now, snapshots[0].time);
+  EXPECT_EQ(instance.horizon, snapshots[0].maxPolicyMakespan);
+  const Time expected = computeTimeScale(
+      instance.horizon - instance.now, snapshots[0].accumulatedRuntime(),
+      instance.jobs.size(), options.scaling);
+  EXPECT_EQ(instance.timeScale, expected);
+}
+
+TEST(Study, ForcedTimeScaleOverridesEq6) {
+  const auto snapshots = captureSnapshots(200, 1, 78);
+  ASSERT_FALSE(snapshots.empty());
+  StudyOptions options = fastOptions();
+  options.forcedTimeScale = 300;
+  EXPECT_EQ(makeInstance(snapshots[0], options).timeScale, 300);
+}
+
+TEST(Study, RunStepProducesCoherentRow) {
+  const auto snapshots = captureSnapshots(250, 4, 79);
+  ASSERT_FALSE(snapshots.empty());
+  const StudyOptions options = fastOptions();
+  for (const auto& snap : snapshots) {
+    const StudyRow row = runStep(snap, options);
+    EXPECT_EQ(row.submissionTime, snap.time);
+    EXPECT_EQ(row.jobs, snap.waiting.size());
+    EXPECT_GT(row.makespan, 0);
+    EXPECT_GT(row.accRuntime, 0);
+    EXPECT_GT(row.timeScale, 0);
+    EXPECT_GT(row.lpColumns, 0);
+    EXPECT_GT(row.policyValue, 0);
+    EXPECT_GT(row.ilpValue, 0);
+    EXPECT_NEAR(row.quality, row.ilpValue / row.policyValue, 1e-12);
+    EXPECT_NEAR(row.perfLossPct, (1.0 - row.quality) * 100.0, 1e-9);
+    EXPECT_TRUE(row.status == mip::MipStatus::Optimal ||
+                row.status == mip::MipStatus::FeasibleLimit);
+  }
+}
+
+TEST(Study, WarmStartBoundsQuality) {
+  // With the warm start the ILP starts from the best policy schedule, so a
+  // *proven optimal* solve can lose to the policy only through the
+  // time-scaling detour (quality > 1 is possible but typically mild).
+  const auto snapshots = captureSnapshots(250, 4, 80);
+  ASSERT_FALSE(snapshots.empty());
+  StudyOptions options = fastOptions();
+  options.warmStart = true;
+  for (const auto& snap : snapshots) {
+    const StudyRow row = runStep(snap, options);
+    EXPECT_LT(row.quality, 2.0) << "pathological quality";
+    EXPECT_GT(row.quality, 0.2);
+  }
+}
+
+TEST(Study, SecondPreciseIlpNeverWorseThanPolicy) {
+  // At scale 1 (no time-scaling) a proven-optimal ILP is at least as good
+  // as the best policy under the ILP's own objective (ARTwW): the paper's
+  // "CPLEX should always at least find the same schedule as any policy".
+  auto snapshots = captureSnapshots(150, 3, 81);
+  ASSERT_FALSE(snapshots.empty());
+  StudyOptions options = fastOptions();
+  options.metric = core::MetricKind::ArtWW;  // match the ILP objective
+  options.forcedTimeScale = 1;
+  options.mip.maxNodes = 20000;
+  options.mip.timeLimitSeconds = 60;
+  for (const auto& snap : snapshots) {
+    // Keep instances tiny: skip steps with long horizons (grid too fine).
+    if (snap.maxPolicyMakespan - snap.time > 4000) continue;
+    const StudyRow row = runStep(snap, options);
+    if (row.status != mip::MipStatus::Optimal) continue;
+    EXPECT_LE(row.quality, 1.0 + 1e-9)
+        << "optimal ILP lost to a policy without time-scaling";
+  }
+}
+
+TEST(Study, RunStudyAggregatesAndParallelMatchesSerial) {
+  const auto snapshots = captureSnapshots(250, 4, 82);
+  ASSERT_GE(snapshots.size(), 2u);
+  const StudyOptions options = fastOptions();
+  const auto serial = runStudy(snapshots, options, 1);
+  const auto parallel = runStudy(snapshots, options, 2);
+  ASSERT_EQ(serial.size(), snapshots.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].jobs, serial[i].jobs);
+    EXPECT_DOUBLE_EQ(parallel[i].quality, serial[i].quality);
+    EXPECT_DOUBLE_EQ(parallel[i].ilpValue, serial[i].ilpValue);
+  }
+
+  const StudyAverages avg = averageRows(serial);
+  EXPECT_EQ(avg.rows, serial.size());
+  double qualitySum = 0;
+  for (const auto& row : serial) qualitySum += row.quality;
+  EXPECT_NEAR(avg.quality, qualitySum / static_cast<double>(serial.size()),
+              1e-12);
+  EXPECT_NEAR(avg.perfLossPct, (1.0 - avg.quality) * 100.0, 1.0);
+}
+
+TEST(Study, AveragesOfEmptyStudyAreZero) {
+  const StudyAverages avg = averageRows({});
+  EXPECT_EQ(avg.rows, 0u);
+  EXPECT_EQ(avg.quality, 0.0);
+}
+
+}  // namespace
+}  // namespace dynsched::tip
