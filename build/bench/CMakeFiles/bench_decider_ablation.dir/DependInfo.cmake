@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_decider_ablation.cpp" "bench/CMakeFiles/bench_decider_ablation.dir/bench_decider_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_decider_ablation.dir/bench_decider_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynsched/tip/CMakeFiles/dynsched_tip.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/sim/CMakeFiles/dynsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/mip/CMakeFiles/dynsched_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/lp/CMakeFiles/dynsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/core/CMakeFiles/dynsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/trace/CMakeFiles/dynsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/util/CMakeFiles/dynsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

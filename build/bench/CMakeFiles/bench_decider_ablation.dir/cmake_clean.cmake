@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decider_ablation.dir/bench_decider_ablation.cpp.o"
+  "CMakeFiles/bench_decider_ablation.dir/bench_decider_ablation.cpp.o.d"
+  "bench_decider_ablation"
+  "bench_decider_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decider_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimate_accuracy.dir/bench_estimate_accuracy.cpp.o"
+  "CMakeFiles/bench_estimate_accuracy.dir/bench_estimate_accuracy.cpp.o.d"
+  "bench_estimate_accuracy"
+  "bench_estimate_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimate_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

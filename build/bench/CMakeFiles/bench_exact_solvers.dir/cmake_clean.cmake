@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_solvers.dir/bench_exact_solvers.cpp.o"
+  "CMakeFiles/bench_exact_solvers.dir/bench_exact_solvers.cpp.o.d"
+  "bench_exact_solvers"
+  "bench_exact_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

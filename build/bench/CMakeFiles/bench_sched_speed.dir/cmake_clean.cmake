@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_speed.dir/bench_sched_speed.cpp.o"
+  "CMakeFiles/bench_sched_speed.dir/bench_sched_speed.cpp.o.d"
+  "bench_sched_speed"
+  "bench_sched_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timescale_sweep.dir/bench_timescale_sweep.cpp.o"
+  "CMakeFiles/bench_timescale_sweep.dir/bench_timescale_sweep.cpp.o.d"
+  "bench_timescale_sweep"
+  "bench_timescale_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timescale_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

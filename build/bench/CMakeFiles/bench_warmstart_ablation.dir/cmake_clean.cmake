@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_warmstart_ablation.dir/bench_warmstart_ablation.cpp.o"
+  "CMakeFiles/bench_warmstart_ablation.dir/bench_warmstart_ablation.cpp.o.d"
+  "bench_warmstart_ablation"
+  "bench_warmstart_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_warmstart_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

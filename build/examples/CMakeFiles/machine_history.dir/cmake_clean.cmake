@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_history.dir/machine_history.cpp.o"
+  "CMakeFiles/machine_history.dir/machine_history.cpp.o.d"
+  "machine_history"
+  "machine_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

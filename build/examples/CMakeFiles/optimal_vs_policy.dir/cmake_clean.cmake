@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_vs_policy.dir/optimal_vs_policy.cpp.o"
+  "CMakeFiles/optimal_vs_policy.dir/optimal_vs_policy.cpp.o.d"
+  "optimal_vs_policy"
+  "optimal_vs_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_vs_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

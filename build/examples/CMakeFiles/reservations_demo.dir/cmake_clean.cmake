@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservations_demo.dir/reservations_demo.cpp.o"
+  "CMakeFiles/reservations_demo.dir/reservations_demo.cpp.o.d"
+  "reservations_demo"
+  "reservations_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservations_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

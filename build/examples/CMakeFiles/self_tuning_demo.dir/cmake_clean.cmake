@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_tuning_demo.dir/self_tuning_demo.cpp.o"
+  "CMakeFiles/self_tuning_demo.dir/self_tuning_demo.cpp.o.d"
+  "self_tuning_demo"
+  "self_tuning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_tuning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

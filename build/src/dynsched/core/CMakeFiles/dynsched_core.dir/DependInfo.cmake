@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynsched/core/decider.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/decider.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/decider.cpp.o.d"
+  "/root/repo/src/dynsched/core/dynp.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/dynp.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/dynp.cpp.o.d"
+  "/root/repo/src/dynsched/core/machine_history.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/machine_history.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/machine_history.cpp.o.d"
+  "/root/repo/src/dynsched/core/metrics.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/metrics.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/dynsched/core/planner.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/planner.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/planner.cpp.o.d"
+  "/root/repo/src/dynsched/core/policies.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/policies.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/policies.cpp.o.d"
+  "/root/repo/src/dynsched/core/reservation.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/reservation.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/reservation.cpp.o.d"
+  "/root/repo/src/dynsched/core/resource_profile.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/resource_profile.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/resource_profile.cpp.o.d"
+  "/root/repo/src/dynsched/core/schedule.cpp" "src/dynsched/core/CMakeFiles/dynsched_core.dir/schedule.cpp.o" "gcc" "src/dynsched/core/CMakeFiles/dynsched_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynsched/trace/CMakeFiles/dynsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynsched/util/CMakeFiles/dynsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_core.dir/decider.cpp.o"
+  "CMakeFiles/dynsched_core.dir/decider.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/dynp.cpp.o"
+  "CMakeFiles/dynsched_core.dir/dynp.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/machine_history.cpp.o"
+  "CMakeFiles/dynsched_core.dir/machine_history.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/metrics.cpp.o"
+  "CMakeFiles/dynsched_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/planner.cpp.o"
+  "CMakeFiles/dynsched_core.dir/planner.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/policies.cpp.o"
+  "CMakeFiles/dynsched_core.dir/policies.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/reservation.cpp.o"
+  "CMakeFiles/dynsched_core.dir/reservation.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/resource_profile.cpp.o"
+  "CMakeFiles/dynsched_core.dir/resource_profile.cpp.o.d"
+  "CMakeFiles/dynsched_core.dir/schedule.cpp.o"
+  "CMakeFiles/dynsched_core.dir/schedule.cpp.o.d"
+  "libdynsched_core.a"
+  "libdynsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

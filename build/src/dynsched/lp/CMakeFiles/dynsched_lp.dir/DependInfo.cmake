@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynsched/lp/basis.cpp" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/basis.cpp.o" "gcc" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/basis.cpp.o.d"
+  "/root/repo/src/dynsched/lp/model.cpp" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/model.cpp.o" "gcc" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/model.cpp.o.d"
+  "/root/repo/src/dynsched/lp/mps_writer.cpp" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/mps_writer.cpp.o" "gcc" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/mps_writer.cpp.o.d"
+  "/root/repo/src/dynsched/lp/presolve.cpp" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/presolve.cpp.o" "gcc" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/presolve.cpp.o.d"
+  "/root/repo/src/dynsched/lp/simplex.cpp" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/simplex.cpp.o" "gcc" "src/dynsched/lp/CMakeFiles/dynsched_lp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynsched/util/CMakeFiles/dynsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_lp.dir/basis.cpp.o"
+  "CMakeFiles/dynsched_lp.dir/basis.cpp.o.d"
+  "CMakeFiles/dynsched_lp.dir/model.cpp.o"
+  "CMakeFiles/dynsched_lp.dir/model.cpp.o.d"
+  "CMakeFiles/dynsched_lp.dir/mps_writer.cpp.o"
+  "CMakeFiles/dynsched_lp.dir/mps_writer.cpp.o.d"
+  "CMakeFiles/dynsched_lp.dir/presolve.cpp.o"
+  "CMakeFiles/dynsched_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/dynsched_lp.dir/simplex.cpp.o"
+  "CMakeFiles/dynsched_lp.dir/simplex.cpp.o.d"
+  "libdynsched_lp.a"
+  "libdynsched_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

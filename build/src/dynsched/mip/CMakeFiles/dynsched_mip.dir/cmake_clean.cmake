@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_mip.dir/mip.cpp.o"
+  "CMakeFiles/dynsched_mip.dir/mip.cpp.o.d"
+  "libdynsched_mip.a"
+  "libdynsched_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

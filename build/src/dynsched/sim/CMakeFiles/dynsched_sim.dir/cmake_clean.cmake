@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dynsched_sim.dir/simulator.cpp.o.d"
+  "libdynsched_sim.a"
+  "libdynsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

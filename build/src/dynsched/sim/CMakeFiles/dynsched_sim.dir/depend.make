@@ -1,0 +1,2 @@
+# Empty dependencies file for dynsched_sim.
+# This may be replaced when dependencies are built.

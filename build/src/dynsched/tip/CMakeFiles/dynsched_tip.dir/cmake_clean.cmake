@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_tip.dir/compaction.cpp.o"
+  "CMakeFiles/dynsched_tip.dir/compaction.cpp.o.d"
+  "CMakeFiles/dynsched_tip.dir/exact.cpp.o"
+  "CMakeFiles/dynsched_tip.dir/exact.cpp.o.d"
+  "CMakeFiles/dynsched_tip.dir/order_bnb.cpp.o"
+  "CMakeFiles/dynsched_tip.dir/order_bnb.cpp.o.d"
+  "CMakeFiles/dynsched_tip.dir/study.cpp.o"
+  "CMakeFiles/dynsched_tip.dir/study.cpp.o.d"
+  "CMakeFiles/dynsched_tip.dir/tim_model.cpp.o"
+  "CMakeFiles/dynsched_tip.dir/tim_model.cpp.o.d"
+  "CMakeFiles/dynsched_tip.dir/time_scaling.cpp.o"
+  "CMakeFiles/dynsched_tip.dir/time_scaling.cpp.o.d"
+  "libdynsched_tip.a"
+  "libdynsched_tip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_tip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dynsched_tip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynsched/trace/filters.cpp" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/filters.cpp.o" "gcc" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/filters.cpp.o.d"
+  "/root/repo/src/dynsched/trace/stats.cpp" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/stats.cpp.o" "gcc" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/dynsched/trace/swf.cpp" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/swf.cpp.o" "gcc" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/swf.cpp.o.d"
+  "/root/repo/src/dynsched/trace/synthetic.cpp" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/synthetic.cpp.o" "gcc" "src/dynsched/trace/CMakeFiles/dynsched_trace.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynsched/util/CMakeFiles/dynsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

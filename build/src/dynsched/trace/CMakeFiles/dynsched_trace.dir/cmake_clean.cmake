@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_trace.dir/filters.cpp.o"
+  "CMakeFiles/dynsched_trace.dir/filters.cpp.o.d"
+  "CMakeFiles/dynsched_trace.dir/stats.cpp.o"
+  "CMakeFiles/dynsched_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/dynsched_trace.dir/swf.cpp.o"
+  "CMakeFiles/dynsched_trace.dir/swf.cpp.o.d"
+  "CMakeFiles/dynsched_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/dynsched_trace.dir/synthetic.cpp.o.d"
+  "libdynsched_trace.a"
+  "libdynsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

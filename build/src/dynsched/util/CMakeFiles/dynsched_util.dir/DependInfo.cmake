@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynsched/util/flags.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/flags.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/flags.cpp.o.d"
+  "/root/repo/src/dynsched/util/logging.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/logging.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/logging.cpp.o.d"
+  "/root/repo/src/dynsched/util/rng.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/rng.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/rng.cpp.o.d"
+  "/root/repo/src/dynsched/util/strings.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/strings.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/strings.cpp.o.d"
+  "/root/repo/src/dynsched/util/table.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/table.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/table.cpp.o.d"
+  "/root/repo/src/dynsched/util/thread_pool.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/thread_pool.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/dynsched/util/timer.cpp" "src/dynsched/util/CMakeFiles/dynsched_util.dir/timer.cpp.o" "gcc" "src/dynsched/util/CMakeFiles/dynsched_util.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

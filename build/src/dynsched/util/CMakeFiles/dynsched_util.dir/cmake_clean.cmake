@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynsched_util.dir/flags.cpp.o"
+  "CMakeFiles/dynsched_util.dir/flags.cpp.o.d"
+  "CMakeFiles/dynsched_util.dir/logging.cpp.o"
+  "CMakeFiles/dynsched_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dynsched_util.dir/rng.cpp.o"
+  "CMakeFiles/dynsched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dynsched_util.dir/strings.cpp.o"
+  "CMakeFiles/dynsched_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dynsched_util.dir/table.cpp.o"
+  "CMakeFiles/dynsched_util.dir/table.cpp.o.d"
+  "CMakeFiles/dynsched_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dynsched_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/dynsched_util.dir/timer.cpp.o"
+  "CMakeFiles/dynsched_util.dir/timer.cpp.o.d"
+  "libdynsched_util.a"
+  "libdynsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dynp_test.dir/core_dynp_test.cpp.o"
+  "CMakeFiles/core_dynp_test.dir/core_dynp_test.cpp.o.d"
+  "core_dynp_test"
+  "core_dynp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dynp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

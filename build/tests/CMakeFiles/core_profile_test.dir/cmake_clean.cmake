@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_profile_test.dir/core_profile_test.cpp.o"
+  "CMakeFiles/core_profile_test.dir/core_profile_test.cpp.o.d"
+  "core_profile_test"
+  "core_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_bnb_test.dir/order_bnb_test.cpp.o"
+  "CMakeFiles/order_bnb_test.dir/order_bnb_test.cpp.o.d"
+  "order_bnb_test"
+  "order_bnb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
