@@ -35,7 +35,6 @@ int main(int argc, char** argv) {
             << history.toString() << '\n';
 
   // ASCII staircase.
-  const auto& entries = history.entries();
   const Time horizon = history.fullyFreeFrom() + 600;
   std::cout << "free\n";
   for (NodeCount level = machine.nodes; level > 0; level -= machine.nodes / 8) {

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Correctness driver: runs the full ctest suite under ASan/UBSan and TSan
+# with the schedule audit enabled, and (when clang-tidy is available) builds
+# src/ under the curated .clang-tidy gate. Exits non-zero on any failure.
+#
+# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy]...
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) JOBS="$2"; shift 2 ;;
+    --skip) SKIP="$SKIP $2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+skip() { [[ " $SKIP " == *" $1 "* ]]; }
+
+# Every audited code path validates its schedules during these runs.
+export DYNSCHED_AUDIT=1
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+run_mode() {
+  local name="$1"; shift
+  local dir="build-$name"
+  echo "=== [$name] configure + build ==="
+  cmake -B "$dir" -S . -DDYNSCHED_WERROR=ON "$@" > "$dir.cmake.log" 2>&1 || {
+    cat "$dir.cmake.log"; return 1;
+  }
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+FAILED=""
+
+if ! skip asan; then
+  run_mode asan -DDYNSCHED_SANITIZE="address,undefined" || FAILED="$FAILED asan"
+fi
+
+if ! skip tsan; then
+  run_mode tsan -DDYNSCHED_SANITIZE=thread || FAILED="$FAILED tsan"
+fi
+
+if ! skip tidy; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    # The analysis gate only needs the library targets; --warnings-as-errors
+    # inside DYNSCHED_ANALYZE fails the build on any finding in src/.
+    echo "=== [tidy] clang-tidy gate over src/ ==="
+    cmake -B build-tidy -S . -DDYNSCHED_ANALYZE=ON > build-tidy.cmake.log 2>&1 \
+      || { cat build-tidy.cmake.log; FAILED="$FAILED tidy"; }
+    cmake --build build-tidy -j "$JOBS" --target \
+        dynsched_util dynsched_trace dynsched_core dynsched_analysis \
+        dynsched_lp dynsched_mip dynsched_sim dynsched_tip \
+      || FAILED="$FAILED tidy"
+  else
+    echo "WARNING: clang-tidy not found; skipping the analysis gate" >&2
+  fi
+fi
+
+if [[ -n "$FAILED" ]]; then
+  echo "check.sh FAILED:$FAILED" >&2
+  exit 1
+fi
+echo "check.sh: all modes green"

@@ -1,6 +1,8 @@
 #include "dynsched/core/dynp.hpp"
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/thread_pool.hpp"
 #include "dynsched/util/timer.hpp"
 
 namespace dynsched::core {
@@ -22,6 +24,8 @@ DynPScheduler::DynPScheduler(Machine machine, DynPConfig config)
   stats_.chosenCount.assign(policies_.size(), 0);
 }
 
+DynPScheduler::~DynPScheduler() = default;
+
 SelfTuningResult DynPScheduler::selfTuningStep(
     const MachineHistory& history, const std::vector<Job>& waiting, Time now,
     const ReservationBook* reservations) {
@@ -34,13 +38,28 @@ SelfTuningResult DynPScheduler::selfTuningStep(
   result.values.resize(policies_.size());
 
   const MetricEvaluator evaluator(now, machine_.nodes);
-  for (std::size_t i = 0; i < policies_.size(); ++i) {
+  const auto evaluateCandidate = [&](std::size_t i) {
     result.schedules[i] =
         reservations != nullptr
             ? planSchedule(history, *reservations, waiting, policies_[i], now)
             : planSchedule(history, waiting, policies_[i], now);
     result.values[i] =
         evaluator.evaluate(result.schedules[i], config_.metric);
+    // Candidate schedules decide the policy switch; audit each one together
+    // with the metric value the decider will see.
+    DYNSCHED_AUDIT_SCHEDULE(
+        "dynp.selfTuningStep", result.schedules[i], history, now, reservations,
+        {analysis::MetricExpectation{config_.metric, result.values[i]}});
+  };
+  if (config_.evalThreads > 1 && policies_.size() > 1) {
+    // Candidates are independent: each task reads the shared history and
+    // waiting set and writes only its own result slot.
+    if (!pool_) {
+      pool_ = std::make_unique<util::ThreadPool>(config_.evalThreads);
+    }
+    pool_->parallelFor(policies_.size(), evaluateCandidate);
+  } else {
+    for (std::size_t i = 0; i < policies_.size(); ++i) evaluateCandidate(i);
   }
 
   result.chosenPolicy = decider_->decide(policies_, result.values,

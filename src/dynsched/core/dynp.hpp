@@ -18,6 +18,10 @@
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/planner.hpp"
 
+namespace dynsched::util {
+class ThreadPool;
+}
+
 namespace dynsched::core {
 
 /// Everything a self-tuning step produced: the candidate schedules, their
@@ -46,6 +50,11 @@ struct DynPConfig {
   /// Policies the self-tuning step evaluates, in tie-preference order.
   /// Empty means the paper's default {FCFS, SJF, LJF}.
   PolicySet policies;
+  /// >1: plan and evaluate the candidate policies concurrently on a
+  /// ThreadPool of this many workers. 0/1 keeps the serial loop. Each
+  /// candidate writes only its own slot, so results are identical either
+  /// way (the decider always runs after all candidates finish).
+  unsigned evalThreads = 0;
 };
 
 /// Counters over the lifetime of a scheduler instance.
@@ -59,6 +68,7 @@ struct DynPStats {
 class DynPScheduler {
  public:
   DynPScheduler(Machine machine, DynPConfig config);
+  ~DynPScheduler();
 
   /// Runs one self-tuning step at time `now` for the given waiting set and
   /// machine history, updates the active policy, and returns the full
@@ -81,6 +91,7 @@ class DynPScheduler {
   std::unique_ptr<Decider> decider_;
   PolicyKind activePolicy_;
   DynPStats stats_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< lazy; evalThreads > 1 only
 };
 
 }  // namespace dynsched::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/core/resource_profile.hpp"
 #include "dynsched/util/error.hpp"
 
@@ -27,15 +28,21 @@ Schedule planInOrder(const MachineHistory& history,
 Schedule planSchedule(const MachineHistory& history,
                       const std::vector<Job>& waiting, PolicyKind policy,
                       Time now) {
-  return planInOrder(history, sortByPolicy(policy, waiting), now);
+  Schedule schedule = planInOrder(history, sortByPolicy(policy, waiting), now);
+  DYNSCHED_AUDIT_SCHEDULE("planner.planSchedule", schedule, history, now);
+  return schedule;
 }
 
 Schedule planSchedule(const MachineHistory& history,
                       const ReservationBook& reservations,
                       const std::vector<Job>& waiting, PolicyKind policy,
                       Time now) {
-  return planInOrder(profileWithReservations(history, reservations, now),
-                     sortByPolicy(policy, waiting), now);
+  Schedule schedule =
+      planInOrder(profileWithReservations(history, reservations, now),
+                  sortByPolicy(policy, waiting), now);
+  DYNSCHED_AUDIT_SCHEDULE("planner.planSchedule+reservations", schedule,
+                          history, now, &reservations);
+  return schedule;
 }
 
 Schedule planEasyBackfill(const MachineHistory& history,
@@ -82,6 +89,7 @@ Schedule planEasyBackfill(const MachineHistory& history,
       }
     }
   }
+  DYNSCHED_AUDIT_SCHEDULE("planner.planEasyBackfill", schedule, history, now);
   return schedule;
 }
 

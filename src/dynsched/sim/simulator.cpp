@@ -4,6 +4,7 @@
 #include <queue>
 #include <sstream>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/timer.hpp"
 
@@ -174,6 +175,10 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
                      : core::planSchedule(history, waitingJobs, fixedPolicy,
                                           now);
     }
+
+    // The schedule the simulator will act on — audited here so fixed-policy,
+    // EASY, and dynP paths all pass the same gate with the same history.
+    DYNSCHED_AUDIT_SCHEDULE("sim.replan", schedule, history, now, book);
 
     for (WaitingEntry& w : waiting) {
       const core::ScheduledJob* entry = schedule.find(w.job.id);

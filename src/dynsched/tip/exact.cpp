@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/core/planner.hpp"
 #include "dynsched/util/error.hpp"
 
@@ -36,6 +37,11 @@ ExactResult exactBestSchedule(const TipInstance& instance,
       haveBest = true;
     }
   } while (std::next_permutation(order.begin(), order.end()));
+  // Audit the winner only: validating all n! candidates would dominate the
+  // enumeration, and every candidate is built by the same placement kernel.
+  DYNSCHED_AUDIT_SCHEDULE(
+      "tip.exactBestSchedule", best.schedule, instance.history, instance.now,
+      nullptr, {analysis::MetricExpectation{metric, best.value}});
   return best;
 }
 

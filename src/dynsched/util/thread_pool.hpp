@@ -17,6 +17,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "dynsched/util/error.hpp"
+
 namespace dynsched::util {
 
 class ThreadPool {
@@ -30,7 +32,14 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Drains the queue and joins all workers. Idempotent; racing submitters
+  /// get a CheckError instead of a task that silently never runs. Must not
+  /// be called from a worker thread (it would join itself).
+  void shutdown();
+
   /// Enqueues a task; the returned future yields its result (or exception).
+  /// Throws CheckError once shutdown has begun — a task accepted after the
+  /// stop would hold a future that never becomes ready.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -39,6 +48,7 @@ class ThreadPool {
     std::future<R> result = packaged->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      DYNSCHED_CHECK_MSG(!stopping_, "ThreadPool::submit after shutdown");
       queue_.emplace_back([packaged] { (*packaged)(); });
     }
     wake_.notify_one();

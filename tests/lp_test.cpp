@@ -234,8 +234,12 @@ TEST_P(SimplexRandomTest, OptimalWithValidCertificate) {
         activity[static_cast<std::size_t>(r)] >= m.rowUpper(r) - 1e-5;
     // Minimization with A x = s convention: y > 0 requires the activity at
     // its lower row bound, y < 0 at its upper (complementary slackness).
-    if (y > 1e-5) EXPECT_TRUE(atLower) << "row " << r << " seed " << param.seed;
-    if (y < -1e-5) EXPECT_TRUE(atUpper) << "row " << r << " seed " << param.seed;
+    if (y > 1e-5) {
+      EXPECT_TRUE(atLower) << "row " << r << " seed " << param.seed;
+    }
+    if (y < -1e-5) {
+      EXPECT_TRUE(atUpper) << "row " << r << " seed " << param.seed;
+    }
   }
   for (int j = 0; j < m.numVariables(); ++j) {
     double rc = m.objectiveCoef(j);

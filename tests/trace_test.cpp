@@ -53,6 +53,23 @@ TEST(Swf, StrictParseThrowsOnMalformed) {
   EXPECT_THROW(SwfTrace::parse(in), CheckError);
 }
 
+TEST(Swf, StrictParseThrowsOnNonNumericField) {
+  // Right field count (18), but field 4 is not a number.
+  std::istringstream in("1 0 10 60 oops 1 1 4 60 1 1 1 1 1 1 1 -1 -1\n");
+  EXPECT_THROW(SwfTrace::parse(in), CheckError);
+}
+
+TEST(Swf, StrictParseReportsLineNumber) {
+  std::istringstream in(std::string(kSampleSwf) + "malformed record\n");
+  try {
+    SwfTrace::parse(in);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed SWF record"),
+              std::string::npos);
+  }
+}
+
 TEST(Swf, LenientParseSkipsAndCounts) {
   std::istringstream in("garbage line\n" + std::string(kSampleSwf));
   const SwfTrace trace = SwfTrace::parse(in, /*lenient=*/true);

@@ -192,6 +192,23 @@ TEST(Flags, RejectsUnknownAndMalformed) {
   EXPECT_THROW(flags2.parse(2, badValue), CheckError);
 }
 
+TEST(Flags, RejectsDuplicateRegistration) {
+  FlagSet flags("prog");
+  flags.addInt("n", 1, "count");
+  EXPECT_THROW(flags.addDouble("n", 2.0, "clashes"), CheckError);
+}
+
+TEST(Flags, RejectsMissingValueAndBadBool) {
+  FlagSet flags("prog");
+  flags.addInt("n", 1, "");
+  const char* dangling[] = {"prog", "--n"};
+  EXPECT_THROW(flags.parse(2, dangling), CheckError);
+  FlagSet flags2("prog");
+  flags2.addBool("verbose", false, "");
+  const char* badBool[] = {"prog", "--verbose=maybe"};
+  EXPECT_THROW(flags2.parse(2, badBool), CheckError);
+}
+
 TEST(Flags, HelpReturnsFalse) {
   FlagSet flags("prog");
   flags.addInt("n", 1, "count");
