@@ -1,0 +1,20 @@
+NAME          KNAPSACK
+ROWS
+ N  COST
+ L  cap
+COLUMNS
+    MARKER0  'MARKER'  'INTORG'
+    x1  COST  -10
+    x1  cap  5
+    x2  COST  -13
+    x2  cap  6
+    x3  COST  -7
+    x3  cap  4
+    MARKER1  'MARKER'  'INTEND'
+RHS
+    RHS  cap  10
+BOUNDS
+ UP BND  x1  1
+ UP BND  x2  1
+ UP BND  x3  1
+ENDATA

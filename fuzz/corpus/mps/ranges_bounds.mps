@@ -1,0 +1,28 @@
+NAME          RANGED
+ROWS
+ N  COST
+ E  assign
+ L  range
+ G  floor
+ N  freerow
+COLUMNS
+    x1  COST  2.5
+    x1  assign  1
+    x1  range  2
+    yfree  COST  -1
+    yfree  range  1
+    yfree  freerow  3
+    zfix  assign  1
+    zfix  floor  0.5
+RHS
+    RHS  assign  1
+    RHS  range  3
+    RHS  floor  0.25
+RANGES
+    RNG  range  2
+BOUNDS
+ FR BND  yfree
+ FX BND  zfix  2
+ LO BND  x1  0.5
+ UP BND  x1  4
+ENDATA

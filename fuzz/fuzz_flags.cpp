@@ -1,0 +1,49 @@
+// Flags parser harness.
+//
+// The input is split on newlines into an argv. A representative FlagSet (one
+// flag of each kind) must either parse it or reject it via CheckError —
+// never crash, leak, or loop. "--help" would print usage to stdout, so those
+// tokens are redirected through usage() directly instead.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/flags.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<std::string> args{"fuzz_flags"};
+  std::string current;
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      args.push_back(current);
+      current.clear();
+    } else if (c != '\0') {  // argv strings cannot contain NUL
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) args.push_back(current);
+
+  dynsched::util::FlagSet flags("fuzz_flags");
+  flags.addInt("nodes", 430, "machine size");
+  flags.addDouble("ratio", 1.0, "a double flag");
+  flags.addString("trace", "", "a string flag");
+  flags.addBool("verbose", false, "a bool flag");
+  (void)flags.usage();
+
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) {
+    if (a == "--help") continue;  // exercised via usage() above
+    argv.push_back(a.c_str());
+  }
+  try {
+    (void)flags.parse(static_cast<int>(argv.size()), argv.data());
+  } catch (const dynsched::CheckError&) {
+    // Structured rejection is the contract for unknown/malformed flags.
+  }
+  return 0;
+}

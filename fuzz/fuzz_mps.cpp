@@ -1,0 +1,47 @@
+// MPS write→parse round-trip oracle.
+//
+// Any text readMps() accepts describes a model; writeMps() normalizes it
+// (merged duplicate entries, dropped zeros, canonical bound lines, shortest
+// round-trip number formatting). One normalization must reach a fixed point:
+// parse(input) → write = T2, parse(T2) → write = T3, and T2 == T3 byte for
+// byte. A mismatch means the writer emits something the reader misreads (or
+// the reader loses information) — exactly the bug class this pair guards
+// against. parse(T2) itself must never throw: the writer's output is always
+// well-formed.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "dynsched/lp/mps_reader.hpp"
+#include "dynsched/lp/mps_writer.hpp"
+#include "dynsched/util/error.hpp"
+
+namespace {
+
+std::string normalize(const dynsched::lp::MpsProblem& problem) {
+  dynsched::lp::MpsOptions options;
+  options.problemName =
+      problem.name.empty() ? "FUZZ" : problem.name;
+  options.integerColumns = problem.integerColumns;
+  std::ostringstream out;
+  dynsched::lp::writeMps(problem.model, out, options);
+  return out.str();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  dynsched::lp::MpsProblem first;
+  try {
+    first = dynsched::lp::readMps(text);
+  } catch (const dynsched::CheckError&) {
+    return 0;  // structured rejection of malformed input is the contract
+  }
+  const std::string t2 = normalize(first);
+  const std::string t3 = normalize(dynsched::lp::readMps(t2));
+  if (t2 != t3) __builtin_trap();
+  return 0;
+}

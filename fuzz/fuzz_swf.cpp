@@ -1,0 +1,35 @@
+// SWF parser harness.
+//
+// Properties under test: a strict parse may only reject input via CheckError;
+// a lenient parse never throws; a lenient parse's output re-serializes to SWF
+// that strict-parses back to the same number of jobs (write→parse inverse).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "dynsched/trace/swf.hpp"
+#include "dynsched/util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(text);
+    try {
+      (void)dynsched::trace::SwfTrace::parse(in, /*lenient=*/false);
+    } catch (const dynsched::CheckError&) {
+      // Rejecting malformed input with a structured error is the contract.
+    }
+  }
+  std::istringstream in(text);
+  const dynsched::trace::SwfTrace trace =
+      dynsched::trace::SwfTrace::parse(in, /*lenient=*/true);
+  std::ostringstream out;
+  trace.write(out);
+  std::istringstream back(out.str());
+  const dynsched::trace::SwfTrace again =
+      dynsched::trace::SwfTrace::parse(back, /*lenient=*/false);
+  if (again.jobs().size() != trace.jobs().size()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Replay driver for toolchains without libFuzzer (gcc).
+//
+// Understands enough of libFuzzer's command line that scripts/check.sh and
+// ctest can invoke harnesses the same way under either compiler:
+//
+//   harness [-runs=N] [-max_total_time=SECONDS] [-seed=S] path...
+//
+// Paths are corpus files or directories (walked recursively). Every input is
+// replayed once; with -max_total_time the driver then keeps running random
+// byte-level mutations of the seeds (blind — no coverage feedback, that
+// needs the Clang build) until the budget expires. Any escape of the
+// harness's contract (unexpected exception, trap, sanitizer report) aborts.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> readFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    std::exit(2);
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// xorshift64*: deterministic for a given -seed, no global state.
+std::uint64_t nextRandom(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed,
+                                 std::uint64_t& rng) {
+  std::vector<std::uint8_t> out = seed;
+  const std::uint64_t edits = 1 + nextRandom(rng) % 8;
+  for (std::uint64_t e = 0; e < edits; ++e) {
+    switch (nextRandom(rng) % 3) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[nextRandom(rng) % out.size()] =
+              static_cast<std::uint8_t>(nextRandom(rng));
+        }
+        break;
+      case 1:  // insert a byte
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                     nextRandom(rng) % (out.size() + 1)),
+                   static_cast<std::uint8_t>(nextRandom(rng)));
+        break;
+      default:  // delete a byte
+        if (!out.empty()) {
+          out.erase(out.begin() +
+                    static_cast<std::ptrdiff_t>(nextRandom(rng) % out.size()));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long maxTotalTime = 0;
+  std::uint64_t seed = 1;
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      maxTotalTime = std::atol(arg + 16);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg + 6));
+    } else if (arg[0] == '-') {
+      // -runs=N and other libFuzzer flags: replay semantics only, ignore.
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  std::vector<std::vector<std::uint8_t>> seeds;
+  seeds.reserve(files.size());
+  for (const auto& path : files) seeds.push_back(readFile(path));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    LLVMFuzzerTestOneInput(seeds[i].data(), seeds[i].size());
+  }
+  std::fprintf(stderr, "replayed %zu seed inputs\n", seeds.size());
+
+  if (maxTotalTime > 0 && !seeds.empty()) {
+    std::uint64_t rng = seed ? seed : 1;
+    std::uint64_t executed = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(maxTotalTime);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::vector<std::uint8_t> input =
+          mutate(seeds[nextRandom(rng) % seeds.size()], rng);
+      {
+        // Persisted before the run: if the harness traps, this file holds
+        // the culprit (the libFuzzer builds write crash-* files instead).
+        std::ofstream dump("crash-last-input", std::ios::binary);
+        dump.write(reinterpret_cast<const char*>(input.data()),
+                   static_cast<std::streamsize>(input.size()));
+      }
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++executed;
+    }
+    std::remove("crash-last-input");
+    std::fprintf(stderr, "executed %llu blind mutations in %lds\n",
+                 static_cast<unsigned long long>(executed), maxTotalTime);
+  }
+  return 0;
+}

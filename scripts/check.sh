@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Correctness driver: runs the full ctest suite under ASan/UBSan and TSan
-# with the schedule audit enabled, and (when clang-tidy is available) builds
-# src/ under the curated .clang-tidy gate. Exits non-zero on any failure.
+# with the schedule audit enabled, builds src/ under the curated .clang-tidy
+# gate, and fuzzes the parser harnesses for a fixed 30-second budget each.
+# Exits non-zero on any failure; missing required tools fail fast instead of
+# silently skipping a gate.
 #
-# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy]...
+# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy|fuzz]...
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+FUZZ_SECONDS=30
 SKIP=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -19,6 +22,15 @@ while [[ $# -gt 0 ]]; do
 done
 
 skip() { [[ " $SKIP " == *" $1 "* ]]; }
+
+# Tool preflight: a gate whose tool is absent must fail loudly, not produce
+# a green run that never executed. Opting out is explicit via --skip.
+if ! skip tidy && ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "check.sh: clang-tidy not found but the tidy gate is enabled." >&2
+  echo "  install it (e.g. 'apt-get install clang-tidy') or pass" >&2
+  echo "  '--skip tidy' to opt out explicitly." >&2
+  exit 2
+fi
 
 # Every audited code path validates its schedules during these runs.
 export DYNSCHED_AUDIT=1
@@ -49,18 +61,41 @@ if ! skip tsan; then
 fi
 
 if ! skip tidy; then
-  if command -v clang-tidy > /dev/null 2>&1; then
-    # The analysis gate only needs the library targets; --warnings-as-errors
-    # inside DYNSCHED_ANALYZE fails the build on any finding in src/.
-    echo "=== [tidy] clang-tidy gate over src/ ==="
-    cmake -B build-tidy -S . -DDYNSCHED_ANALYZE=ON > build-tidy.cmake.log 2>&1 \
-      || { cat build-tidy.cmake.log; FAILED="$FAILED tidy"; }
-    cmake --build build-tidy -j "$JOBS" --target \
-        dynsched_util dynsched_trace dynsched_core dynsched_analysis \
-        dynsched_lp dynsched_mip dynsched_sim dynsched_tip \
-      || FAILED="$FAILED tidy"
+  # The analysis gate only needs the library targets; --warnings-as-errors
+  # inside DYNSCHED_ANALYZE fails the build on any finding in src/.
+  echo "=== [tidy] clang-tidy gate over src/ ==="
+  cmake -B build-tidy -S . -DDYNSCHED_ANALYZE=ON > build-tidy.cmake.log 2>&1 \
+    || { cat build-tidy.cmake.log; FAILED="$FAILED tidy"; }
+  cmake --build build-tidy -j "$JOBS" --target \
+      dynsched_util dynsched_trace dynsched_core dynsched_analysis \
+      dynsched_lp dynsched_mip dynsched_sim dynsched_tip \
+    || FAILED="$FAILED tidy"
+fi
+
+if ! skip fuzz; then
+  # Coverage-guided under Clang (libFuzzer); with gcc the harnesses fall
+  # back to the blind-mutation replay driver — weaker, but the oracles and
+  # sanitizers still run, so say so instead of silently degrading.
+  FUZZ_ARGS=(-DDYNSCHED_FUZZ=ON -DDYNSCHED_SANITIZE="address,undefined")
+  if command -v clang++ > /dev/null 2>&1; then
+    FUZZ_ARGS+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++)
   else
-    echo "WARNING: clang-tidy not found; skipping the analysis gate" >&2
+    echo "NOTE: clang++ not found; fuzzing without coverage feedback" \
+         "(install clang or pass '--skip fuzz' to silence this)" >&2
+  fi
+  echo "=== [fuzz] configure + build harnesses ==="
+  cmake -B build-fuzz -S . "${FUZZ_ARGS[@]}" > build-fuzz.cmake.log 2>&1 \
+    || { cat build-fuzz.cmake.log; FAILED="$FAILED fuzz"; }
+  if [[ " $FAILED " != *" fuzz "* ]]; then
+    cmake --build build-fuzz -j "$JOBS" --target fuzz_swf fuzz_flags fuzz_mps \
+      || FAILED="$FAILED fuzz"
+  fi
+  if [[ " $FAILED " != *" fuzz "* ]]; then
+    for harness in swf flags mps; do
+      echo "=== [fuzz] fuzz_$harness (${FUZZ_SECONDS}s, seed corpus) ==="
+      "build-fuzz/fuzz/fuzz_$harness" -max_total_time="$FUZZ_SECONDS" \
+          -seed=1 "fuzz/corpus/$harness" || { FAILED="$FAILED fuzz"; break; }
+    done
   fi
 fi
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dynsched/util/checked.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/strings.hpp"
 
@@ -9,6 +10,14 @@ namespace dynsched::core {
 
 namespace {
 constexpr double kBoundedSlowdownTau = 10.0;  // seconds, the usual threshold
+
+/// time · width in exact integer arithmetic; throws instead of wrapping on
+/// pathological traces (month-long responses times full-machine widths sum
+/// fine, but corrupted SWF fields can reach 2^63).
+double weightedSeconds(Time seconds, NodeCount width) {
+  return static_cast<double>(
+      util::checkedMul<Time>(seconds, static_cast<Time>(width)));
+}
 }
 
 const char* metricName(MetricKind metric) {
@@ -46,8 +55,7 @@ bool lowerIsBetter(MetricKind metric) {
 double MetricEvaluator::totalWeightedResponse(const Schedule& schedule) {
   double total = 0;
   for (const ScheduledJob& e : schedule.entries()) {
-    total += static_cast<double>(e.responseTime()) *
-             static_cast<double>(e.job.width);
+    total += weightedSeconds(e.responseTime(), e.job.width);
   }
   return total;
 }
@@ -70,8 +78,7 @@ double MetricEvaluator::evaluate(const Schedule& schedule,
     case MetricKind::ArtWW: {
       double sum = 0, weight = 0;
       for (const auto& e : entries) {
-        sum += static_cast<double>(e.responseTime()) *
-               static_cast<double>(e.job.width);
+        sum += weightedSeconds(e.responseTime(), e.job.width);
         weight += static_cast<double>(e.job.width);
       }
       return sum / weight;
@@ -92,8 +99,7 @@ double MetricEvaluator::evaluate(const Schedule& schedule,
     case MetricKind::SldWA: {
       double sum = 0, weight = 0;
       for (const auto& e : entries) {
-        const double area = static_cast<double>(e.duration) *
-                            static_cast<double>(e.job.width);
+        const double area = weightedSeconds(e.duration, e.job.width);
         sum += static_cast<double>(e.responseTime()) /
                static_cast<double>(e.duration) * area;
         weight += area;

@@ -1,0 +1,273 @@
+#include "dynsched/lp/mps_reader.hpp"
+
+#include <cmath>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/strings.hpp"
+
+namespace dynsched::lp {
+
+namespace {
+
+enum class Section { None, Name, Rows, Columns, Rhs, Ranges, Bounds, Done };
+
+struct RowDef {
+  char type = 'N';
+  std::string name;
+  double rhs = 0;
+  bool hasRange = false;
+  double range = 0;
+  int modelRow = -1;  ///< index in the built model; -1 for the objective
+};
+
+struct ColDef {
+  std::string name;
+  double objective = 0;
+  std::vector<std::pair<int, double>> entries;  ///< (rowDef index, value)
+  bool integer = false;
+  double lb = 0;
+  double ub = kInf;
+};
+
+double parseValue(const std::string& token) {
+  const std::optional<double> v = util::parseDouble(token);
+  DYNSCHED_CHECK_MSG(v.has_value() && std::isfinite(*v),
+                     "MPS: bad numeric value '" << token << "'");
+  return *v;
+}
+
+/// Two-sided bounds of a row from its type, RHS, and RANGES entry — the
+/// inverse of the writer's classify().
+std::pair<double, double> rowBounds(const RowDef& row) {
+  switch (row.type) {
+    case 'E':
+      if (row.hasRange) {
+        return row.range >= 0
+                   ? std::make_pair(row.rhs, row.rhs + row.range)
+                   : std::make_pair(row.rhs + row.range, row.rhs);
+      }
+      return {row.rhs, row.rhs};
+    case 'L':
+      return {row.hasRange ? row.rhs - std::fabs(row.range) : -kInf, row.rhs};
+    case 'G':
+      return {row.rhs, row.hasRange ? row.rhs + std::fabs(row.range) : kInf};
+    default:  // 'N': free row
+      return {-kInf, kInf};
+  }
+}
+
+}  // namespace
+
+MpsProblem readMps(std::istream& in) {
+  MpsProblem problem;
+  std::vector<RowDef> rows;
+  std::map<std::string, int, std::less<>> rowIndex;
+  std::vector<ColDef> cols;
+  std::map<std::string, int, std::less<>> colIndex;
+  int objectiveRow = -1;  ///< rows[] index of the first N row
+  bool inIntegerBlock = false;
+  Section section = Section::None;
+
+  const auto findRow = [&](const std::string& name) -> RowDef& {
+    const auto it = rowIndex.find(name);
+    DYNSCHED_CHECK_MSG(it != rowIndex.end(),
+                       "MPS: unknown row '" << name << "'");
+    return rows[static_cast<std::size_t>(it->second)];
+  };
+  const auto findOrAddCol = [&](const std::string& name) -> ColDef& {
+    const auto [it, inserted] =
+        colIndex.emplace(name, static_cast<int>(cols.size()));
+    if (inserted) {
+      cols.emplace_back();
+      cols.back().name = name;
+    }
+    return cols[static_cast<std::size_t>(it->second)];
+  };
+
+  std::string line;
+  while (section != Section::Done && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '*') continue;
+    const std::vector<std::string> fields = util::splitWhitespace(line);
+    if (fields.empty()) continue;
+
+    if (line[0] != ' ' && line[0] != '\t') {  // section header
+      const std::string& head = fields[0];
+      if (head == "NAME") {
+        if (fields.size() > 1) problem.name = fields[1];
+        section = Section::Name;
+      } else if (head == "ROWS") {
+        section = Section::Rows;
+      } else if (head == "COLUMNS") {
+        section = Section::Columns;
+      } else if (head == "RHS") {
+        section = Section::Rhs;
+      } else if (head == "RANGES") {
+        section = Section::Ranges;
+      } else if (head == "BOUNDS") {
+        section = Section::Bounds;
+      } else if (head == "ENDATA") {
+        section = Section::Done;
+      } else {
+        DYNSCHED_CHECK_MSG(false, "MPS: unknown section '" << head << "'");
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::Rows: {
+        DYNSCHED_CHECK_MSG(fields.size() == 2,
+                           "MPS: malformed ROWS line '" << line << "'");
+        DYNSCHED_CHECK_MSG(fields[0].size() == 1 &&
+                               std::string("NELG").find(fields[0]) !=
+                                   std::string::npos,
+                           "MPS: unknown row type '" << fields[0] << "'");
+        const auto [it, inserted] =
+            rowIndex.emplace(fields[1], static_cast<int>(rows.size()));
+        (void)it;
+        DYNSCHED_CHECK_MSG(inserted,
+                           "MPS: duplicate row '" << fields[1] << "'");
+        RowDef row;
+        row.type = fields[0][0];
+        row.name = fields[1];
+        if (row.type == 'N' && objectiveRow < 0) {
+          objectiveRow = static_cast<int>(rows.size());
+        }
+        // writeMps reserves COST for the objective it always emits; a
+        // constraint row of that name would round-trip into a duplicate.
+        DYNSCHED_CHECK_MSG(
+            row.name != "COST" ||
+                objectiveRow == static_cast<int>(rows.size()),
+            "MPS: row name COST is reserved for the objective");
+        rows.push_back(std::move(row));
+        break;
+      }
+      case Section::Columns: {
+        if (fields.size() >= 3 && fields[1] == "'MARKER'") {
+          if (fields[2] == "'INTORG'") {
+            inIntegerBlock = true;
+          } else if (fields[2] == "'INTEND'") {
+            inIntegerBlock = false;
+          } else {
+            DYNSCHED_CHECK_MSG(false,
+                               "MPS: unknown marker '" << fields[2] << "'");
+          }
+          break;
+        }
+        DYNSCHED_CHECK_MSG(fields.size() == 3 || fields.size() == 5,
+                           "MPS: malformed COLUMNS line '" << line << "'");
+        ColDef& col = findOrAddCol(fields[0]);
+        col.integer = col.integer || inIntegerBlock;
+        for (std::size_t f = 1; f + 1 < fields.size(); f += 2) {
+          const double value = parseValue(fields[f + 1]);
+          const auto it = rowIndex.find(fields[f]);
+          DYNSCHED_CHECK_MSG(it != rowIndex.end(),
+                             "MPS: unknown row '" << fields[f] << "'");
+          if (it->second == objectiveRow) {
+            col.objective += value;
+          } else {
+            col.entries.emplace_back(it->second, value);
+          }
+        }
+        break;
+      }
+      case Section::Rhs:
+      case Section::Ranges: {
+        // First field is the RHS/RANGES vector name (ignored).
+        DYNSCHED_CHECK_MSG(fields.size() == 3 || fields.size() == 5,
+                           "MPS: malformed RHS/RANGES line '" << line << "'");
+        for (std::size_t f = 1; f + 1 < fields.size(); f += 2) {
+          RowDef& row = findRow(fields[f]);
+          const double value = parseValue(fields[f + 1]);
+          if (section == Section::Rhs) {
+            DYNSCHED_CHECK_MSG(row.type != 'N',
+                               "MPS: RHS on free/objective row '" << row.name
+                                                                 << "'");
+            row.rhs = value;
+          } else {
+            DYNSCHED_CHECK_MSG(row.type != 'N',
+                               "MPS: RANGES on free/objective row '"
+                                   << row.name << "'");
+            row.hasRange = true;
+            row.range = value;
+          }
+        }
+        break;
+      }
+      case Section::Bounds: {
+        const std::string& type = fields[0];
+        const bool needsValue =
+            type == "LO" || type == "UP" || type == "FX";
+        const bool known = needsValue || type == "FR" || type == "MI" ||
+                           type == "PL" || type == "BV";
+        DYNSCHED_CHECK_MSG(known, "MPS: unknown bound type '" << type << "'");
+        DYNSCHED_CHECK_MSG(fields.size() == (needsValue ? 4u : 3u),
+                           "MPS: malformed BOUNDS line '" << line << "'");
+        // fields[1] is the bound-vector name (ignored). A bound may
+        // introduce a column: a variable whose only matrix entries were
+        // explicit zeros has no COLUMNS line after normalization.
+        ColDef& col = findOrAddCol(fields[2]);
+        const double value = needsValue ? parseValue(fields[3]) : 0;
+        if (type == "LO") {
+          col.lb = value;
+        } else if (type == "UP") {
+          col.ub = value;
+        } else if (type == "FX") {
+          col.lb = col.ub = value;
+        } else if (type == "FR") {
+          col.lb = -kInf;
+          col.ub = kInf;
+        } else if (type == "MI") {
+          col.lb = -kInf;
+        } else if (type == "PL") {
+          col.ub = kInf;
+        } else {  // BV
+          col.lb = 0;
+          col.ub = 1;
+          col.integer = true;
+        }
+        break;
+      }
+      case Section::Name:
+      case Section::None:
+        DYNSCHED_CHECK_MSG(false, "MPS: data line outside a section: '"
+                                      << line << "'");
+      case Section::Done:
+        break;
+    }
+  }
+  DYNSCHED_CHECK_MSG(section == Section::Done, "MPS: missing ENDATA");
+
+  // Assemble the model: rows first (the objective N row is not a model row),
+  // then columns with their final bounds, then the matrix entries.
+  LpModel& model = problem.model;
+  for (RowDef& row : rows) {
+    if (static_cast<int>(&row - rows.data()) == objectiveRow) continue;
+    const auto [lo, hi] = rowBounds(row);
+    DYNSCHED_CHECK_MSG(lo <= hi, "MPS: row '" << row.name
+                                              << "' has crossed bounds");
+    row.modelRow = model.addRow(lo, hi, row.name.c_str());
+  }
+  for (const ColDef& col : cols) {
+    DYNSCHED_CHECK_MSG(col.lb <= col.ub, "MPS: column '"
+                                             << col.name
+                                             << "' has crossed bounds");
+    const int j = model.addVariable(col.lb, col.ub, col.objective, col.name);
+    problem.integerColumns.push_back(col.integer);
+    for (const auto& [rowDef, value] : col.entries) {
+      model.addEntry(rows[static_cast<std::size_t>(rowDef)].modelRow, j,
+                     value);
+    }
+  }
+  return problem;
+}
+
+MpsProblem readMps(const std::string& text) {
+  std::istringstream in(text);
+  return readMps(in);
+}
+
+}  // namespace dynsched::lp

@@ -1,0 +1,31 @@
+// MPS import: the inverse of mps_writer. Together they form the write→parse
+// round-trip oracle the fuzz harness drives: any text the reader accepts must
+// re-serialize to a fixed point after one normalization pass, and any model
+// the writer emits must parse back losslessly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dynsched/lp/model.hpp"
+
+namespace dynsched::lp {
+
+/// A parsed MPS problem: the model plus integrality and the instance name.
+struct MpsProblem {
+  LpModel model;
+  std::vector<bool> integerColumns;
+  std::string name;
+};
+
+/// Strict free-format MPS parser covering the dialect writeMps emits plus
+/// the common archive forms: sections NAME / ROWS / COLUMNS (with
+/// INTORG/INTEND markers) / RHS / RANGES / BOUNDS / ENDATA, two-sided rows
+/// via RANGES, bound types FR/FX/MI/PL/LO/UP/BV. Throws CheckError on
+/// malformed input: unknown sections or bound types, references to undeclared
+/// rows/columns, duplicate row names, non-finite values, missing ENDATA.
+MpsProblem readMps(std::istream& in);
+MpsProblem readMps(const std::string& text);
+
+}  // namespace dynsched::lp

@@ -1,5 +1,6 @@
 #include "dynsched/lp/mps_writer.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -10,6 +11,16 @@
 namespace dynsched::lp {
 
 namespace {
+
+/// Shortest decimal string that parses back to exactly `v`, so that a
+/// write→parse round trip is lossless (and the fuzz oracle can demand a
+/// byte-identical fixed point after one normalization).
+std::string formatValue(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  DYNSCHED_CHECK(ec == std::errc());
+  return std::string(buf, end);
+}
 
 std::string rowName(const LpModel& model, int r) {
   if (!model.rowName(r).empty()) return model.rowName(r);
@@ -76,12 +87,16 @@ void writeMps(const LpModel& model, std::ostream& out,
                        options.integerColumns[static_cast<std::size_t>(j)];
     setIntegerBlock(isInt);
     const std::string name = colName(model, j);
-    if (model.objectiveCoef(j) != 0.0) {
-      out << "    " << name << "  COST  " << model.objectiveCoef(j) << '\n';
+    // A column with no matrix entries still needs a COLUMNS line (even a
+    // zero objective) or its name, position, and integrality marker would
+    // be lost and a parse→write round trip would reorder columns.
+    if (model.objectiveCoef(j) != 0.0 || model.column(j).empty()) {
+      out << "    " << name << "  COST  " << formatValue(model.objectiveCoef(j))
+          << '\n';
     }
     for (const ColumnEntry& e : model.column(j)) {
       out << "    " << name << "  " << rowName(model, e.row) << "  "
-          << e.value << '\n';
+          << formatValue(e.value) << '\n';
     }
   }
   setIntegerBlock(false);
@@ -90,7 +105,8 @@ void writeMps(const LpModel& model, std::ostream& out,
   for (int r = 0; r < model.numRows(); ++r) {
     const RowSpec& spec = specs[static_cast<std::size_t>(r)];
     if (spec.type == 'N' || spec.rhs == 0.0) continue;
-    out << "    RHS  " << rowName(model, r) << "  " << spec.rhs << '\n';
+    out << "    RHS  " << rowName(model, r) << "  " << formatValue(spec.rhs)
+        << '\n';
   }
   bool anyRange = false;
   for (const RowSpec& spec : specs) anyRange |= spec.hasRange;
@@ -99,7 +115,8 @@ void writeMps(const LpModel& model, std::ostream& out,
     for (int r = 0; r < model.numRows(); ++r) {
       const RowSpec& spec = specs[static_cast<std::size_t>(r)];
       if (!spec.hasRange) continue;
-      out << "    RNG  " << rowName(model, r) << "  " << spec.range << '\n';
+      out << "    RNG  " << rowName(model, r) << "  "
+          << formatValue(spec.range) << '\n';
     }
   }
 
@@ -112,17 +129,17 @@ void writeMps(const LpModel& model, std::ostream& out,
       continue;
     }
     if (lb == ub) {
-      out << " FX BND  " << name << "  " << lb << '\n';
+      out << " FX BND  " << name << "  " << formatValue(lb) << '\n';
       continue;
     }
     // MPS default is [0, +inf): emit only deviations from it.
     if (lb <= -kInf) {
       out << " MI BND  " << name << '\n';
     } else if (lb != 0.0) {
-      out << " LO BND  " << name << "  " << lb << '\n';
+      out << " LO BND  " << name << "  " << formatValue(lb) << '\n';
     }
     if (ub < kInf) {
-      out << " UP BND  " << name << "  " << ub << '\n';
+      out << " UP BND  " << name << "  " << formatValue(ub) << '\n';
     }
   }
   out << "ENDATA\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/util/error.hpp"
 
 namespace dynsched::lp {
@@ -171,6 +172,7 @@ std::vector<double> PresolveResult::restore(
 }
 
 LpSolution solvePresolved(const LpModel& model, const SimplexOptions& options) {
+  DYNSCHED_LINT_MODEL("lp.solvePresolved", model);
   const PresolveResult pre = presolve(model);
   LpSolution result;
   if (pre.provenInfeasible) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
 #include "dynsched/util/timer.hpp"
@@ -421,6 +422,7 @@ MipResult BranchAndBound::run() {
 }  // namespace
 
 MipResult solveMip(const MipModel& model, const MipOptions& options) {
+  DYNSCHED_LINT_MODEL("mip.solveMip", model);
   BranchAndBound solver(model, options);
   return solver.run();
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "dynsched/analysis/audit.hpp"
+#include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/core/planner.hpp"
 #include "dynsched/util/error.hpp"
 
@@ -11,6 +12,23 @@ namespace dynsched::tip {
 
 ExactResult exactBestSchedule(const TipInstance& instance,
                               core::MetricKind metric) {
+#if defined(DYNSCHED_AUDIT_ENABLED) && DYNSCHED_AUDIT_ENABLED
+  {
+    analysis::TipInstanceView view;
+    view.now = instance.now;
+    view.horizon = instance.horizon;
+    view.timeScale = instance.timeScale;
+    view.historyStart = instance.history.startTime();
+    view.machineSize = instance.history.machineSize();
+    for (const core::Job& job : instance.jobs) {
+      view.jobWidth.push_back(job.width);
+      view.jobEstimate.push_back(job.estimate);
+      view.jobSubmit.push_back(job.submit);
+    }
+    analysis::enforceLint("tip.exactBestSchedule",
+                          analysis::lintModel(view));
+  }
+#endif
   const std::size_t n = instance.jobs.size();
   DYNSCHED_CHECK_MSG(n >= 1 && n <= 10,
                      "exact enumeration is limited to 10 jobs, got " << n);

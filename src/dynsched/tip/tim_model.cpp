@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <string>
 
+#include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/core/policies.hpp"
+#include "dynsched/util/checked.hpp"
 #include "dynsched/util/error.hpp"
 
 namespace dynsched::tip {
@@ -124,9 +126,10 @@ TipModel buildModel(const TipInstance& instance, const Grid& grid) {
                                               << " does not fit the horizon");
     for (int k = 0; k <= lastStart; ++k) {
       // Eq. 2 coefficient: (t − s_i + d_i) · w_i with t the slot start.
-      const double response = static_cast<double>(
-          grid.slotStart(k) - job.submit + job.estimate);
-      const double coef = response * static_cast<double>(job.width);
+      const Time response = util::checkedAdd<Time>(
+          grid.slotStart(k) - job.submit, job.estimate);
+      const double coef =
+          static_cast<double>(response) * static_cast<double>(job.width);
       const int col = model.mip.addIntegerVariable(
           0.0, 1.0, coef,
           "x_" + std::to_string(i) + "_" + std::to_string(k));
@@ -140,6 +143,28 @@ TipModel buildModel(const TipInstance& instance, const Grid& grid) {
       }
     }
   }
+#if defined(DYNSCHED_AUDIT_ENABLED) && DYNSCHED_AUDIT_ENABLED
+  analysis::TipModelView view;
+  view.model = &model.mip;
+  view.numJobs = numJobs;
+  view.numSlots = grid.slots();
+  view.now = instance.now;
+  view.horizon = instance.horizon;
+  view.timeScale = instance.timeScale;
+  view.machineSize = instance.history.machineSize();
+  view.slotCapacity.reserve(static_cast<std::size_t>(grid.slots()));
+  for (int k = 0; k < grid.slots(); ++k) {
+    view.slotCapacity.push_back(grid.capacity(k));
+  }
+  for (std::size_t i = 0; i < instance.jobs.size(); ++i) {
+    view.slotDuration.push_back(grid.slotDuration(i));
+    view.jobWidth.push_back(instance.jobs[i].width);
+  }
+  view.colJob = &model.colJob;
+  view.colSlot = &model.colSlot;
+  view.jobColumns = &model.jobColumns;
+  analysis::enforceLint("tip.buildModel", analysis::lintModel(view));
+#endif
   return model;
 }
 

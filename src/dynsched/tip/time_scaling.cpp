@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dynsched/util/checked.hpp"
 #include "dynsched/util/error.hpp"
 
 namespace dynsched::tip {
@@ -37,7 +38,9 @@ Time computeTimeScale(Time makespan, Time accRuntime, std::size_t jobs,
   // Round up to the next full multiple (full minutes by default) so the
   // grids of successive steps stay comparable.
   const Time r = std::max<Time>(1, params.roundToSeconds);
-  if (scale > 1) scale = ((scale + r - 1) / r) * r;
+  if (scale > 1) {
+    scale = util::checkedMul<Time>(util::checkedAdd<Time>(scale, r - 1) / r, r);
+  }
   return std::max<Time>(scale, params.minScale);
 }
 

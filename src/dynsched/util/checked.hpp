@@ -1,0 +1,35 @@
+// Overflow-checked integer arithmetic.
+//
+// Width·time·weight products on large SWF traces can exceed 2^63 (a month
+// of seconds times a 430-node width times an 80k-job trace is already close)
+// and signed overflow is UB. These helpers wrap the compiler's overflow
+// builtins and throw CheckError instead of silently wrapping, so the
+// offending trace line is reported rather than corrupting a metric or an
+// objective coefficient.
+#pragma once
+
+#include <type_traits>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::util {
+
+template <typename T>
+T checkedAdd(T a, T b) {
+  static_assert(std::is_integral_v<T>, "checkedAdd is for integer types");
+  T out;
+  DYNSCHED_CHECK_MSG(!__builtin_add_overflow(a, b, &out),
+                     "integer overflow in " << a << " + " << b);
+  return out;
+}
+
+template <typename T>
+T checkedMul(T a, T b) {
+  static_assert(std::is_integral_v<T>, "checkedMul is for integer types");
+  T out;
+  DYNSCHED_CHECK_MSG(!__builtin_mul_overflow(a, b, &out),
+                     "integer overflow in " << a << " * " << b);
+  return out;
+}
+
+}  // namespace dynsched::util

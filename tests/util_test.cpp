@@ -1,10 +1,13 @@
 // Utility-layer tests: strings, RNG determinism and distribution sanity,
 // table rendering, flags, timers, thread pool.
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "dynsched/util/checked.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/flags.hpp"
 #include "dynsched/util/logging.hpp"
@@ -255,6 +258,33 @@ TEST(Check, ThrowsWithContext) {
   } catch (const CheckError& e) {
     EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
   }
+}
+
+TEST(Checked, AddAndMulPassThroughInRange) {
+  EXPECT_EQ(checkedAdd<std::int64_t>(1'000'000'000LL, 2'000'000'000LL),
+            3'000'000'000LL);
+  EXPECT_EQ(checkedMul<std::int64_t>(-7, 6), -42);
+  EXPECT_EQ(checkedAdd<std::int32_t>(-5, 5), 0);
+  const std::int64_t maxT = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(checkedAdd<std::int64_t>(maxT, 0), maxT);
+  EXPECT_EQ(checkedMul<std::int64_t>(maxT, 1), maxT);
+}
+
+TEST(Checked, AddOverflowThrows) {
+  const std::int64_t maxT = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(checkedAdd<std::int64_t>(maxT, 1), CheckError);
+  const std::int64_t minT = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(checkedAdd<std::int64_t>(minT, -1), CheckError);
+  EXPECT_THROW(checkedAdd<std::int32_t>(2'000'000'000, 2'000'000'000),
+               CheckError);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  const std::int64_t maxT = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(checkedMul<std::int64_t>(maxT, 2), CheckError);
+  EXPECT_THROW(checkedMul<std::int64_t>(maxT / 2 + 1, 2), CheckError);
+  const std::int64_t minT = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(checkedMul<std::int64_t>(minT, -1), CheckError);
 }
 
 }  // namespace
