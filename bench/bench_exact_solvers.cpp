@@ -8,12 +8,14 @@
 // policy value, the scaled-ILP value (the paper's pipeline) and the true
 // second-precision optimum, with solve times — quantifying how much of the
 // optimality gap the time-scaling heuristic gives away.
+#include <array>
 #include <cstdio>
 #include <iostream>
 
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/order_bnb.hpp"
 #include "dynsched/tip/study.hpp"
+#include "dynsched/tip/supervised.hpp"
 #include "dynsched/trace/synthetic.hpp"
 #include "dynsched/util/flags.hpp"
 #include "dynsched/util/strings.hpp"
@@ -55,10 +57,12 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"step", "jobs", "policy SLDwA", "scaled-ILP SLDwA",
                          "exact SLDwA", "scaled loss", "true loss",
-                         "ILP time", "exact time", "exact proven"});
+                         "ILP time", "exact time", "exact proven", "rung"});
   char buf[64];
   double sumScaled = 0, sumTrue = 0;
   std::size_t rows = 0;
+  std::array<std::size_t, tip::kSolveRungs> rungCounts{};
+  std::size_t budgetHits = 0;
   for (const auto& snap : selected) {
     // The paper's pipeline: Eq. 6 scaled ILP + compaction.
     tip::StudyOptions study;
@@ -79,6 +83,11 @@ int main(int argc, char** argv) {
     sumScaled += row.perfLossPct;
     sumTrue += trueLoss;
     ++rows;
+    ++rungCounts[static_cast<std::size_t>(tip::solveRungIndex(row.rung))];
+    if (row.stopReason != util::CancelReason::None &&
+        row.stopReason != util::CancelReason::Fault) {
+      ++budgetHits;
+    }
 
     std::vector<std::string> cells;
     cells.push_back("t=" + util::formatThousands(snap.time));
@@ -96,6 +105,7 @@ int main(int argc, char** argv) {
     cells.push_back(util::formatDuration(row.solveSeconds));
     cells.push_back(util::formatDuration(exact.seconds));
     cells.push_back(exact.optimal ? "yes" : "no (limit)");
+    cells.push_back(tip::solveRungName(row.rung));
     table.addRow(std::move(cells));
   }
   std::cout << table.render();
@@ -106,6 +116,12 @@ int main(int argc, char** argv) {
         "gives away (paper Section 3.2/4).\n",
         sumScaled / static_cast<double>(rows),
         sumTrue / static_cast<double>(rows));
+    std::printf(
+        "ladder: optimal %zu, incumbent-gap %zu, coarsened-retry %zu, "
+        "policy-fallback %zu; budget hit on %zu/%zu steps (%.0f%%).\n",
+        rungCounts[0], rungCounts[1], rungCounts[2], rungCounts[3], budgetHits,
+        rows, 100.0 * static_cast<double>(budgetHits) /
+                  static_cast<double>(rows));
   }
   return 0;
 }

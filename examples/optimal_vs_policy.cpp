@@ -115,8 +115,9 @@ int main(int argc, char** argv) {
   util::WallTimer timer;
   const mip::MipResult solved = mip::solveMip(tim.mip, mipOptions);
   if (!solved.hasSolution()) {
-    std::cout << "solver failed: " << mip::mipStatusName(solved.status)
-              << "\n";
+    std::cout << "solver failed: " << mip::mipStatusName(solved.status);
+    if (!solved.message.empty()) std::cout << " — " << solved.message;
+    std::cout << "\n";
     return 1;
   }
   const core::Schedule ilp =

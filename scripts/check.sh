@@ -5,7 +5,7 @@
 # Exits non-zero on any failure; missing required tools fail fast instead of
 # silently skipping a gate.
 #
-# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy|fuzz]...
+# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy|fuzz|faults]...
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +58,32 @@ fi
 
 if ! skip tsan; then
   run_mode tsan -DDYNSCHED_SANITIZE=thread || FAILED="$FAILED tsan"
+fi
+
+if ! skip faults; then
+  # Fault matrix: each DYNSCHED_FAULTS kind forces a different rung of the
+  # supervised degradation ladder; the FaultMatrix suite asserts that the
+  # study still completes with a feasible schedule on every step. Runs
+  # against the ASan build so a fault-path bug also trips the sanitizers.
+  if [[ ! -x build-asan/tests/supervised_test ]]; then
+    echo "=== [faults] building supervised_test (asan) ==="
+    cmake -B build-asan -S . -DDYNSCHED_WERROR=ON \
+        -DDYNSCHED_SANITIZE="address,undefined" > build-asan.cmake.log 2>&1 \
+      || { cat build-asan.cmake.log; FAILED="$FAILED faults"; }
+    [[ " $FAILED " == *" faults "* ]] \
+      || cmake --build build-asan -j "$JOBS" --target supervised_test \
+      || FAILED="$FAILED faults"
+  fi
+  if [[ " $FAILED " != *" faults "* ]]; then
+    for fault in deadline-now oom-at-estimate lp-numerical-failure \
+                 lp-numerical-failure=1 fail-at-node=1 fail-at-step=0 \
+                 fail-at-step=all; do
+      echo "=== [faults] DYNSCHED_FAULTS=$fault ==="
+      DYNSCHED_FAULTS="$fault" build-asan/tests/supervised_test \
+          --gtest_filter='FaultMatrix.*' \
+        || { FAILED="$FAILED faults"; break; }
+    done
+  fi
 fi
 
 if ! skip tidy; then

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dynsched/lp/basis.hpp"
+#include "dynsched/util/budget.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
 
@@ -16,6 +17,7 @@ const char* lpStatusName(LpStatus status) {
     case LpStatus::Unbounded: return "unbounded";
     case LpStatus::IterationLimit: return "iteration-limit";
     case LpStatus::NumericalFailure: return "numerical-failure";
+    case LpStatus::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -172,6 +174,11 @@ double Simplex::phaseObjective(bool phase1) const {
 
 LpSolution Simplex::solve() {
   LpSolution result;
+  if (opts_.cancel != nullptr && opts_.cancel->injectLpFailure()) {
+    // Deterministic fault injection: this solve "fails numerically".
+    result.status = LpStatus::NumericalFailure;
+    return result;
+  }
   if (m_ == 0) {
     // No constraints: every variable sits at its cheaper bound.
     result.x.assign(static_cast<std::size_t>(n_), 0.0);
@@ -268,6 +275,10 @@ LpSolution Simplex::solve() {
 
   for (long iter = 0; iter < opts_.maxIterations; ++iter) {
     result.iterations = iter;
+    if (opts_.cancel != nullptr && opts_.cancel->onLpIteration()) {
+      result.status = LpStatus::Cancelled;
+      return result;
+    }
     if (basis_.updatesSinceFactorize() >= opts_.refactorInterval) {
       if (!refactorize()) {
         result.status = LpStatus::NumericalFailure;

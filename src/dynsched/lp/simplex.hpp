@@ -15,6 +15,10 @@
 
 #include "dynsched/lp/model.hpp"
 
+namespace dynsched::util {
+class CancelToken;
+}  // namespace dynsched::util
+
 namespace dynsched::lp {
 
 enum class LpStatus {
@@ -23,6 +27,7 @@ enum class LpStatus {
   Unbounded,
   IterationLimit,
   NumericalFailure,
+  Cancelled,  ///< a CancelToken stopped the solve (budget/deadline/fault)
 };
 
 const char* lpStatusName(LpStatus status);
@@ -46,6 +51,11 @@ struct SimplexOptions {
   double pivotTol = 1e-8;         ///< smallest acceptable |pivot|
   int refactorInterval = 120;     ///< pivots between refactorizations
   int blandThreshold = 60;        ///< degenerate pivots before Bland's rule
+  /// Cooperative cancellation point, polled at every iteration so a shared
+  /// deadline is honored with at most one iteration of overshoot (and so a
+  /// degenerate node LP inside branch & bound cannot overrun the step
+  /// budget). Non-owning; may be null.
+  util::CancelToken* cancel = nullptr;
 };
 
 /// Solves `model` (minimization). The model is not modified.

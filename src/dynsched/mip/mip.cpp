@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <sstream>
 
 #include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/util/error.hpp"
@@ -69,6 +70,10 @@ class BranchAndBound {
  public:
   BranchAndBound(const MipModel& model, const MipOptions& options)
       : model_(model), opts_(options), work_(model.lp) {
+    nodeLpOptions_ = opts_.lpOptions;
+    if (nodeLpOptions_.cancel == nullptr) {
+      nodeLpOptions_.cancel = opts_.cancel;
+    }
     DYNSCHED_CHECK(model_.integer.size() ==
                    static_cast<std::size_t>(model_.lp.numVariables()));
     colGroup_.assign(static_cast<std::size_t>(model_.lp.numVariables()), -1);
@@ -96,6 +101,7 @@ class BranchAndBound {
 
   const MipModel& model_;
   const MipOptions& opts_;
+  lp::SimplexOptions nodeLpOptions_;  ///< lpOptions + the shared cancel token
   lp::LpModel work_;  ///< working copy whose bounds are rewritten per node
   std::vector<int> colGroup_;  ///< per column: branch-group index or -1
   int cutRoundsUsed_ = 0;
@@ -167,6 +173,9 @@ int BranchAndBound::separateCoverCuts(const std::vector<double>& x) {
   int added = 0;
   for (int r = 0; r < originalRows && added < opts_.maxCoverCutsPerRound;
        ++r) {
+    // Separation is O(rows · columns); on big time-indexed models it must
+    // observe the shared budget too, not only the node loop.
+    if (opts_.cancel != nullptr && opts_.cancel->poll()) break;
     // Candidate: pure <= row over binary columns with positive weights.
     if (model_.lp.rowLower(r) > -lp::kInf) continue;
     const double capacity = model_.lp.rowUpper(r);
@@ -231,9 +240,24 @@ MipResult BranchAndBound::run() {
   bool anyLimitHit = false;
 
   while (!open.empty()) {
-    if (result_.nodes >= opts_.maxNodes ||
-        timer_.elapsedSeconds() > opts_.timeLimitSeconds) {
+    if (result_.nodes >= opts_.maxNodes) {
       anyLimitHit = true;
+      result_.message = "node limit (" + std::to_string(opts_.maxNodes) +
+                        ") hit";
+      break;
+    }
+    if (timer_.elapsedSeconds() > opts_.timeLimitSeconds) {
+      anyLimitHit = true;
+      result_.message = "time limit hit at node " +
+                        std::to_string(result_.nodes);
+      break;
+    }
+    if (opts_.cancel != nullptr && opts_.cancel->onNode()) {
+      anyLimitHit = true;
+      result_.message =
+          std::string("budget cancelled (") +
+          util::cancelReasonName(opts_.cancel->reason()) + ") at node " +
+          std::to_string(result_.nodes);
       break;
     }
     Node node = open.top();
@@ -272,18 +296,53 @@ MipResult BranchAndBound::run() {
     ++result_.nodes;
     if (crossed) continue;
 
-    const lp::LpSolution relax = lp::solveLp(work_, opts_.lpOptions);
+    if (opts_.cancel != nullptr &&
+        opts_.cancel->shouldFailNode(result_.nodes)) {
+      result_.status = MipStatus::Error;
+      result_.message = "injected LP failure at node " +
+                        std::to_string(result_.nodes);
+      result_.stopReason = opts_.cancel->reason();
+      result_.seconds = timer_.elapsedSeconds();
+      return result_;
+    }
+    const lp::LpSolution relax = lp::solveLp(work_, nodeLpOptions_);
     result_.lpIterations += relax.iterations;
     if (relax.status == lp::LpStatus::Infeasible) continue;
+    if (relax.status == lp::LpStatus::Cancelled) {
+      // The shared budget fired mid-relaxation; the node is unexplored but
+      // the incumbent (if any) and every bound stay valid.
+      anyLimitHit = true;
+      std::ostringstream os;
+      os << "budget cancelled ("
+         << util::cancelReasonName(opts_.cancel != nullptr
+                                       ? opts_.cancel->reason()
+                                       : util::CancelReason::External)
+         << ") inside the LP of node " << result_.nodes << " after "
+         << relax.iterations << " iterations";
+      result_.message = os.str();
+      open.push(std::move(node));  // count it among the open bounds below
+      break;
+    }
     if (relax.status == lp::LpStatus::Unbounded) {
       // An unbounded relaxation at the root means an unbounded MIP; treat
       // as an error (our models are always bounded).
       result_.status = MipStatus::Error;
+      std::ostringstream os;
+      os << "node relaxation unbounded at node " << result_.nodes << " after "
+         << result_.lpIterations << " total LP iterations";
+      result_.message = os.str();
+      if (opts_.cancel != nullptr) result_.stopReason = opts_.cancel->reason();
       result_.seconds = timer_.elapsedSeconds();
       return result_;
     }
     if (relax.status != lp::LpStatus::Optimal) {
       result_.status = MipStatus::Error;
+      std::ostringstream os;
+      os << "node relaxation " << lp::lpStatusName(relax.status)
+         << " at node " << result_.nodes << " after " << relax.iterations
+         << " LP iterations (" << result_.lpIterations << " total)";
+      result_.message = os.str();
+      if (opts_.cancel != nullptr) result_.stopReason = opts_.cancel->reason();
       result_.seconds = timer_.elapsedSeconds();
       return result_;
     }
@@ -411,10 +470,15 @@ MipResult BranchAndBound::run() {
     result_.status = (open.empty() || gap <= opts_.relGapTol)
                          ? MipStatus::Optimal
                          : MipStatus::FeasibleLimit;
+    if (result_.status == MipStatus::Optimal) result_.message.clear();
   } else {
     result_.status =
         anyLimitHit ? MipStatus::NoSolutionLimit : MipStatus::Infeasible;
+    if (result_.status == MipStatus::NoSolutionLimit) {
+      result_.message += " before any incumbent was found";
+    }
   }
+  if (opts_.cancel != nullptr) result_.stopReason = opts_.cancel->reason();
   result_.seconds = timer_.elapsedSeconds();
   return result_;
 }

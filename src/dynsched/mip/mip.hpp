@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dynsched/lp/simplex.hpp"
+#include "dynsched/util/budget.hpp"
 
 namespace dynsched::mip {
 
@@ -49,6 +50,13 @@ struct MipResult {
   long lpIterations = 0;
   long heuristicSolutions = 0;
   double seconds = 0;
+  /// Why the solve stopped short, when it did: for Error the failing node
+  /// and LP iteration count, for *Limit which limit fired. Empty on a clean
+  /// Optimal finish — callers must never treat Error as a mere "no
+  /// schedule"; this message carries the diagnosis.
+  std::string message;
+  /// Reason the shared CancelToken (if any) was cancelled.
+  util::CancelReason stopReason = util::CancelReason::None;
 
   bool hasSolution() const {
     return status == MipStatus::Optimal || status == MipStatus::FeasibleLimit;
@@ -60,6 +68,11 @@ struct MipResult {
 struct MipOptions {
   long maxNodes = 200000;
   double timeLimitSeconds = 300.0;
+  /// Shared cooperative cancellation point (non-owning; may be null). It is
+  /// threaded into every node relaxation via lp::SimplexOptions::cancel and
+  /// polled in the node loop and the cover-cut separation, so the budget it
+  /// carries bounds the whole solve — including a single degenerate node LP.
+  util::CancelToken* cancel = nullptr;
   double relGapTol = 1e-6;       ///< stop when gap() <= this
   double integralityTol = 1e-6;
   /// Objective value of every integer point is an integer (true for the

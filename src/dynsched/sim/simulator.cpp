@@ -6,6 +6,7 @@
 
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/logging.hpp"
 #include "dynsched/util/timer.hpp"
 
 namespace dynsched::sim {
@@ -126,37 +127,70 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
         haveReservations ? &reservations : nullptr;
     if (options_.kind == SchedulerKind::DynP &&
         (tuningEvent || options_.retuneOnJobEnd)) {
-      const core::PolicyKind before = dynp.activePolicy();
-      core::SelfTuningResult result =
-          dynp.selfTuningStep(history, waitingJobs, now, book);
-      if (result.switched) {
-        report.switches.push_back(
-            PolicySwitch{now, before, result.chosenPolicy});
-      }
-      if (options_.snapshots.enabled &&
-          waiting.size() >= options_.snapshots.minWaiting &&
-          waiting.size() <= options_.snapshots.maxWaiting &&
-          report.snapshots.size() < options_.snapshots.maxCount) {
-        ++eligibleSteps;
-        if ((eligibleSteps - 1) % std::max<std::size_t>(
-                                      1, options_.snapshots.everyNth) == 0) {
-          StepSnapshot snap;
-          snap.time = now;
-          snap.history = history;
-          snap.waiting = waitingJobs;
-          snap.values = result.values;
-          snap.bestPolicy = result.chosenPolicy;
-          snap.bestValue = result.bestValue();
-          Time maxMakespan = now;
-          for (const core::Schedule& s : result.schedules) {
-            maxMakespan = std::max(maxMakespan, s.makespan(now));
+      const long step = static_cast<long>(report.tuningSteps++);
+      std::string failure;
+      if (options_.faults.has_value() &&
+          options_.faults->failsStep(step)) {
+        failure = "injected step fault (" + options_.faults->describe() + ")";
+        DYNSCHED_CHECK_MSG(options_.failSoft, failure);
+      } else {
+        // A tuning step that dies (a policy schedule failing its audit, an
+        // internal invariant tripping) degrades this one decision instead of
+        // killing hours of simulation — the online system it models would
+        // keep scheduling with the active policy too.
+        try {
+          const core::PolicyKind before = dynp.activePolicy();
+          core::SelfTuningResult result =
+              dynp.selfTuningStep(history, waitingJobs, now, book);
+          if (result.switched) {
+            report.switches.push_back(
+                PolicySwitch{now, before, result.chosenPolicy});
           }
-          snap.maxPolicyMakespan = maxMakespan;
-          snap.bestSchedule = result.chosenSchedule();
-          report.snapshots.push_back(std::move(snap));
+          if (options_.snapshots.enabled &&
+              waiting.size() >= options_.snapshots.minWaiting &&
+              waiting.size() <= options_.snapshots.maxWaiting &&
+              report.snapshots.size() < options_.snapshots.maxCount) {
+            ++eligibleSteps;
+            if ((eligibleSteps - 1) %
+                    std::max<std::size_t>(
+                        1, options_.snapshots.everyNth) == 0) {
+              StepSnapshot snap;
+              snap.time = now;
+              snap.history = history;
+              snap.waiting = waitingJobs;
+              snap.values = result.values;
+              snap.bestPolicy = result.chosenPolicy;
+              snap.bestValue = result.bestValue();
+              Time maxMakespan = now;
+              for (const core::Schedule& s : result.schedules) {
+                maxMakespan = std::max(maxMakespan, s.makespan(now));
+              }
+              snap.maxPolicyMakespan = maxMakespan;
+              snap.bestSchedule = result.chosenSchedule();
+              report.snapshots.push_back(std::move(snap));
+            }
+          }
+          schedule = result.chosenSchedule();
+        } catch (const analysis::AuditError& e) {
+          if (!options_.failSoft) throw;
+          failure = e.what();
+        } catch (const CheckError& e) {
+          if (!options_.failSoft) throw;
+          failure = e.what();
         }
       }
-      schedule = result.chosenSchedule();
+      if (!failure.empty()) {
+        ++report.degradedSteps;
+        DYNSCHED_LOG(Warn)
+            << "tuning step " << step << " at t=" << now
+            << " degraded to policy " << core::policyName(dynp.activePolicy())
+            << ": " << failure;
+        schedule = book != nullptr
+                       ? core::planSchedule(history, *book, waitingJobs,
+                                            dynp.activePolicy(), now)
+                       : core::planSchedule(history, waitingJobs,
+                                            dynp.activePolicy(), now);
+      }
     } else if (options_.kind == SchedulerKind::DynP) {
       // Non-tuning replan (job end): keep the active policy.
       schedule = book != nullptr
@@ -302,7 +336,11 @@ std::string SimulationReport::summary(NodeCount machineSize) const {
   std::ostringstream os;
   os << "jobs=" << completed.size() << " span="
      << util::formatSimTime(simulatedSpan) << " replans=" << replans
-     << " switches=" << switches.size() << "\n"
+     << " switches=" << switches.size();
+  if (degradedSteps > 0) {
+    os << " degraded=" << degradedSteps << "/" << tuningSteps;
+  }
+  os << "\n"
      << "  ART=" << avgResponseTime() << "s AWT=" << avgWaitTime()
      << "s SLD=" << avgSlowdown() << " BSLD=" << avgBoundedSlowdown()
      << " util=" << utilization(machineSize);

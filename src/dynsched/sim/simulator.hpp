@@ -19,6 +19,7 @@
 #include "dynsched/core/machine_history.hpp"
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/planner.hpp"
+#include "dynsched/util/budget.hpp"
 
 namespace dynsched::sim {
 
@@ -68,6 +69,16 @@ struct SimOptions {
   /// submission (the paper tunes on submission; this is an extension knob).
   bool retuneOnJobEnd = false;
   SnapshotOptions snapshots;
+  /// Degrade a failed self-tuning step (AuditError / CheckError / injected
+  /// fault) to a plan under the currently active policy and keep simulating,
+  /// instead of aborting the whole run. The degradation is counted in
+  /// SimulationReport::degradedSteps. false: the error propagates.
+  bool failSoft = true;
+  /// Deterministic fault plan applied to the *simulator's* tuning steps
+  /// (fail-at-step only). Unlike tip::supervisedBestSchedule this is never
+  /// read from DYNSCHED_FAULTS — a study process with env faults set must
+  /// still be able to simulate cleanly to capture its snapshots.
+  std::optional<util::FaultPlan> faults;
 };
 
 /// A finished job with its observed timing.
@@ -93,6 +104,10 @@ struct SimulationReport {
   core::DynPStats dynpStats;
   Time simulatedSpan = 0;     ///< first submit .. last completion
   std::size_t replans = 0;
+  std::size_t tuningSteps = 0;    ///< self-tuning decisions attempted
+  /// Tuning steps that failed and were degraded to the active policy
+  /// (SimOptions::failSoft); always 0 on a healthy run.
+  std::size_t degradedSteps = 0;
   double wallSeconds = 0;
 
   /// Metrics over *actual* execution (observed starts/ends, actual runtime

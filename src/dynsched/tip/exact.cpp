@@ -11,7 +11,8 @@
 namespace dynsched::tip {
 
 ExactResult exactBestSchedule(const TipInstance& instance,
-                              core::MetricKind metric) {
+                              core::MetricKind metric,
+                              util::CancelToken* cancel) {
 #if defined(DYNSCHED_AUDIT_ENABLED) && DYNSCHED_AUDIT_ENABLED
   {
     analysis::TipInstanceView view;
@@ -42,6 +43,11 @@ ExactResult exactBestSchedule(const TipInstance& instance,
   ExactResult best;
   bool haveBest = false;
   do {
+    if ((best.ordersTried & 255) == 0 && cancel != nullptr &&
+        cancel->poll()) {
+      best.complete = false;
+      break;
+    }
     std::vector<core::Job> ordered;
     ordered.reserve(n);
     for (const std::size_t i : order) ordered.push_back(instance.jobs[i]);
@@ -57,9 +63,12 @@ ExactResult exactBestSchedule(const TipInstance& instance,
   } while (std::next_permutation(order.begin(), order.end()));
   // Audit the winner only: validating all n! candidates would dominate the
   // enumeration, and every candidate is built by the same placement kernel.
-  DYNSCHED_AUDIT_SCHEDULE(
-      "tip.exactBestSchedule", best.schedule, instance.history, instance.now,
-      nullptr, {analysis::MetricExpectation{metric, best.value}});
+  if (haveBest) {
+    DYNSCHED_AUDIT_SCHEDULE(
+        "tip.exactBestSchedule", best.schedule, instance.history,
+        instance.now, nullptr,
+        {analysis::MetricExpectation{metric, best.value}});
+  }
   return best;
 }
 

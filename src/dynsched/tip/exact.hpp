@@ -12,6 +12,7 @@
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/schedule.hpp"
 #include "dynsched/tip/tim_model.hpp"
+#include "dynsched/util/budget.hpp"
 
 namespace dynsched::tip {
 
@@ -19,11 +20,17 @@ struct ExactResult {
   core::Schedule schedule;
   double value = 0;
   std::size_t ordersTried = 0;
+  /// False when a CancelToken stopped the enumeration early; `schedule` is
+  /// then the best order seen so far, not a proven optimum.
+  bool complete = true;
 };
 
 /// Enumerates all start orders (n ≤ 10 enforced) and returns the schedule
-/// minimizing (or maximizing, per the metric direction) `metric`.
+/// minimizing (or maximizing, per the metric direction) `metric`. A non-null
+/// `cancel` is polled every 256 orders and turns the oracle into an anytime
+/// search (`complete` reports whether the enumeration finished).
 ExactResult exactBestSchedule(const TipInstance& instance,
-                              core::MetricKind metric);
+                              core::MetricKind metric,
+                              util::CancelToken* cancel = nullptr);
 
 }  // namespace dynsched::tip

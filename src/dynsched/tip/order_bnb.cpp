@@ -75,7 +75,8 @@ class OrderSearch {
     if (limitHit_) return;
     if (++result_.nodes >= opts_.maxNodes ||
         ((result_.nodes & 1023) == 0 &&
-         timer_.elapsedSeconds() > opts_.timeLimitSeconds)) {
+         timer_.elapsedSeconds() > opts_.timeLimitSeconds) ||
+        (opts_.cancel != nullptr && opts_.cancel->onNode())) {
       limitHit_ = true;
       return;
     }

@@ -13,12 +13,16 @@
 
 #include "dynsched/core/schedule.hpp"
 #include "dynsched/tip/tim_model.hpp"
+#include "dynsched/util/budget.hpp"
 
 namespace dynsched::tip {
 
 struct OrderBnbOptions {
   long maxNodes = 20'000'000;
   double timeLimitSeconds = 60.0;
+  /// Shared cooperative cancellation point (non-owning; may be null),
+  /// polled once per search node alongside the local limits.
+  util::CancelToken* cancel = nullptr;
 };
 
 struct OrderBnbResult {

@@ -1,103 +1,14 @@
 #include "dynsched/tip/study.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
-#include <tuple>
 
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/thread_pool.hpp"
-#include "dynsched/util/timer.hpp"
 
 namespace dynsched::tip {
 
-namespace {
-
-/// Start order of a second-precision schedule (by start, submit, id).
-std::vector<std::size_t> scheduleOrder(const std::vector<core::Job>& jobs,
-                                       const core::Schedule& schedule) {
-  std::vector<std::size_t> order(jobs.size());
-  std::vector<Time> starts(jobs.size(), 0);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    order[i] = i;
-    const core::ScheduledJob* entry = schedule.find(jobs[i].id);
-    DYNSCHED_CHECK_MSG(entry != nullptr,
-                       "schedule misses job " << jobs[i].id);
-    starts[i] = entry->start;
-  }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return std::tie(starts[a], jobs[a].submit, jobs[a].id) <
-           std::tie(starts[b], jobs[b].submit, jobs[b].id);
-  });
-  return order;
-}
-
-/// LP-guided rounding: order jobs by their fractional mean start slot and
-/// place that order on the grid; encode as a 0/1 candidate.
-std::optional<std::vector<double>> roundByMeanStart(
-    const TipModel& model, const TipInstance& instance, const Grid& grid,
-    const std::vector<double>& x) {
-  const std::size_t n = instance.jobs.size();
-  std::vector<double> meanSlot(n, 0.0);
-  for (std::size_t col = 0; col < model.colJob.size(); ++col) {
-    const double v = x[col];
-    if (v <= 1e-9) continue;
-    meanSlot[static_cast<std::size_t>(model.colJob[col])] +=
-        v * static_cast<double>(model.colSlot[col]);
-  }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (meanSlot[a] != meanSlot[b]) return meanSlot[a] < meanSlot[b];
-    return std::tie(instance.jobs[a].submit, instance.jobs[a].id) <
-           std::tie(instance.jobs[b].submit, instance.jobs[b].id);
-  });
-  const Grid::Placement placement = grid.placeInOrder(order);
-  return model.encode(placement.startSlot);
-}
-
-}  // namespace
-
-mip::MipOptions makeMipOptions(const TipModel& model,
-                               const TipInstance& instance, const Grid& grid,
-                               mip::MipOptions base,
-                               const core::Schedule* warmStart) {
-  base.objectiveIsIntegral = true;
-  base.branchGroups = model.jobColumns;  // SOS1 over start slots
-  base.roundingHeuristic = [&model, &instance,
-                            &grid](const std::vector<double>& x) {
-    return roundByMeanStart(model, instance, grid, x);
-  };
-  if (warmStart != nullptr) {
-    const std::vector<std::size_t> order =
-        scheduleOrder(instance.jobs, *warmStart);
-    const Grid::Placement placement = grid.placeInOrder(order);
-    if (auto encoded = model.encode(placement.startSlot)) {
-      base.warmStart = std::move(*encoded);
-    }
-  }
-  return base;
-}
-
-TipInstance makeInstance(const sim::StepSnapshot& snapshot,
-                         const StudyOptions& options) {
-  TipInstance instance;
-  instance.history = snapshot.history;
-  instance.jobs = snapshot.waiting;
-  instance.now = snapshot.time;
-  instance.horizon = std::max(snapshot.maxPolicyMakespan,
-                              snapshot.time + 1);
-  const Time makespan = instance.horizon - instance.now;
-  instance.timeScale =
-      options.forcedTimeScale > 0
-          ? options.forcedTimeScale
-          : computeTimeScale(makespan, snapshot.accumulatedRuntime(),
-                             instance.jobs.size(), options.scaling);
-  return instance;
-}
-
 StudyRow runStep(const sim::StepSnapshot& snapshot,
-                 const StudyOptions& options) {
+                 const StudyOptions& options, long stepIndex) {
   StudyRow row;
   row.submissionTime = snapshot.time;
   row.jobs = snapshot.waiting.size();
@@ -107,35 +18,26 @@ StudyRow runStep(const sim::StepSnapshot& snapshot,
   const TipInstance instance = makeInstance(snapshot, options);
   row.makespan = instance.horizon - instance.now;
   row.accRuntime = snapshot.accumulatedRuntime();
-  row.timeScale = instance.timeScale;
 
-  util::WallTimer timer;
-  const Grid grid = makeGrid(instance);
-  TipModel model = buildModel(instance, grid);
-  row.lpColumns = model.mip.lp.numVariables();
-  row.lpRows = model.mip.lp.numRows();
-
-  mip::MipOptions mipOptions = makeMipOptions(
-      model, instance, grid, options.mip,
-      options.warmStart ? &snapshot.bestSchedule : nullptr);
-  if (!options.roundingHeuristic) mipOptions.roundingHeuristic = nullptr;
-
-  const mip::MipResult solved = mip::solveMip(model.mip, mipOptions);
-  row.solveSeconds = timer.elapsedSeconds();
-  row.status = solved.status;
+  const SupervisedResult solved =
+      supervisedBestSchedule(snapshot, options, stepIndex);
+  row.timeScale = solved.timeScale;
+  row.solveSeconds = solved.seconds;
+  row.status = solved.mipStatus;
   row.nodes = solved.nodes;
-  row.gap = solved.hasSolution() ? solved.gap() : 0.0;
-  DYNSCHED_CHECK_MSG(solved.hasSolution(),
-                     "ILP produced no solution (status "
-                         << mip::mipStatusName(solved.status) << ")");
+  row.gap = solved.gap;
+  row.lpColumns = solved.lpColumns;
+  row.lpRows = solved.lpRows;
+  row.rung = solved.rung;
+  row.stopReason = solved.stopReason;
+  row.provenance = solved.provenance;
 
-  // Compact the solver's starting order back to second precision and
-  // evaluate both schedules under the study metric.
-  const core::Schedule ilpSchedule =
-      compactFromSlots(instance, model.startSlots(solved.x));
+  // The ladder always hands back a feasible schedule; evaluate it and the
+  // best policy schedule under the study metric. A rung-4 row degenerates
+  // to quality 1 (the "ILP" schedule IS the policy schedule).
   const core::MetricEvaluator evaluator(instance.now,
                                         instance.history.machineSize());
-  row.ilpValue = evaluator.evaluate(ilpSchedule, options.metric);
+  row.ilpValue = evaluator.evaluate(solved.schedule, options.metric);
   row.policyValue =
       evaluator.evaluate(snapshot.bestSchedule, options.metric);
   DYNSCHED_CHECK_MSG(row.policyValue != 0.0,
@@ -150,13 +52,13 @@ std::vector<StudyRow> runStudy(const std::vector<sim::StepSnapshot>& snapshots,
   std::vector<StudyRow> rows(snapshots.size());
   if (threads <= 1 || snapshots.size() <= 1) {
     for (std::size_t i = 0; i < snapshots.size(); ++i) {
-      rows[i] = runStep(snapshots[i], options);
+      rows[i] = runStep(snapshots[i], options, static_cast<long>(i));
     }
     return rows;
   }
   util::ThreadPool pool(threads);
   pool.parallelFor(snapshots.size(), [&](std::size_t i) {
-    rows[i] = runStep(snapshots[i], options);
+    rows[i] = runStep(snapshots[i], options, static_cast<long>(i));
   });
   return rows;
 }
@@ -173,6 +75,11 @@ StudyAverages averageRows(const std::vector<StudyRow>& rows) {
     avg.quality += row.quality;
     avg.perfLossPct += row.perfLossPct;
     avg.solveSeconds += row.solveSeconds;
+    ++avg.rungCounts[static_cast<std::size_t>(solveRungIndex(row.rung))];
+    if (row.stopReason != util::CancelReason::None &&
+        row.stopReason != util::CancelReason::Fault) {
+      ++avg.budgetHits;
+    }
   }
   const double n = static_cast<double>(rows.size());
   avg.jobs /= n;

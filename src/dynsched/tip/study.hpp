@@ -10,8 +10,13 @@
 //
 // quality < 1 means the ILP schedule is better; time-scaling can make it
 // exceed 1 (the policy beats the scaled ILP), exactly as in the paper.
+//
+// Every step runs through the supervised degradation ladder (supervised.hpp)
+// so a budget overrun or a solver failure degrades that one row — with
+// recorded provenance — instead of aborting the study.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,21 +24,15 @@
 #include "dynsched/mip/mip.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/compaction.hpp"
+#include "dynsched/tip/supervised.hpp"
 #include "dynsched/tip/tim_model.hpp"
 #include "dynsched/tip/time_scaling.hpp"
 
 namespace dynsched::tip {
 
-struct StudyOptions {
-  TimeScalingParams scaling;
-  mip::MipOptions mip;
-  core::MetricKind metric = core::MetricKind::SldWA;
-  bool warmStart = true;             ///< seed B&B with the policy schedule
-  bool roundingHeuristic = true;     ///< LP-guided order rounding
-  /// Override the Eq. 6 scale with a fixed value (0 = use Eq. 6) — used by
-  /// the time-scale sensitivity bench.
-  Time forcedTimeScale = 0;
-};
+/// Study knobs = the supervised solve knobs (budget, faults, scaling, MIP
+/// configuration); the study adds nothing on top.
+struct StudyOptions : SupervisedOptions {};
 
 /// One Table 1 row.
 struct StudyRow {
@@ -53,6 +52,10 @@ struct StudyRow {
   long nodes = 0;
   int lpColumns = 0;
   int lpRows = 0;
+  /// Degradation-ladder provenance of the supervised solve.
+  SolveRung rung = SolveRung::Optimal;
+  util::CancelReason stopReason = util::CancelReason::None;
+  std::string provenance;
 };
 
 /// Aggregates (the paper's final "averages" line).
@@ -65,29 +68,19 @@ struct StudyAverages {
   double quality = 0;
   double perfLossPct = 0;
   double solveSeconds = 0;
+  /// Rows that finished on each ladder rung (index = solveRungIndex).
+  std::array<std::size_t, kSolveRungs> rungCounts{};
+  /// Rows whose solve was stopped by the shared budget (any CancelReason
+  /// other than None or Fault).
+  std::size_t budgetHits = 0;
 };
 
 StudyAverages averageRows(const std::vector<StudyRow>& rows);
 
-/// Builds the TipInstance of a snapshot (horizon = max policy makespan,
-/// scale from Eq. 6 or the forced override).
-TipInstance makeInstance(const sim::StepSnapshot& snapshot,
-                         const StudyOptions& options);
-
-/// Production solver configuration for a time-indexed model: SOS1 group
-/// branching over each job's start slots, the LP-guided order-rounding
-/// heuristic, integral-objective bound tightening, and (optionally) a
-/// warm-start incumbent snapped from a second-precision schedule.
-/// `model`, `instance` and `grid` are captured by reference and must
-/// outlive the solveMip() call.
-mip::MipOptions makeMipOptions(const TipModel& model,
-                               const TipInstance& instance, const Grid& grid,
-                               mip::MipOptions base = {},
-                               const core::Schedule* warmStart = nullptr);
-
-/// Solves one captured step and fills a row.
+/// Solves one captured step through the supervised ladder and fills a row.
+/// `stepIndex` identifies the step for fail-at-step fault plans.
 StudyRow runStep(const sim::StepSnapshot& snapshot,
-                 const StudyOptions& options);
+                 const StudyOptions& options, long stepIndex = 0);
 
 /// Runs every snapshot (optionally on `threads` workers) in input order.
 std::vector<StudyRow> runStudy(const std::vector<sim::StepSnapshot>& snapshots,

@@ -1,0 +1,194 @@
+#include "dynsched/util/budget.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/strings.hpp"
+
+namespace dynsched::util {
+
+const char* cancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::None: return "none";
+    case CancelReason::Deadline: return "deadline";
+    case CancelReason::NodeLimit: return "node-limit";
+    case CancelReason::LpIterationLimit: return "lp-iteration-limit";
+    case CancelReason::MemoryLimit: return "memory-limit";
+    case CancelReason::Fault: return "fault";
+    case CancelReason::External: return "external";
+  }
+  return "?";
+}
+
+namespace {
+
+long parseFaultCount(const std::string& kind, std::string_view text,
+                     bool allowAll) {
+  if (allowAll && toLower(trim(text)) == "all") return FaultPlan::kEveryStep;
+  const auto value = parseInt(text);
+  DYNSCHED_CHECK_MSG(value.has_value() && *value >= 0,
+                     "DYNSCHED_FAULTS: bad value '" << text << "' for "
+                                                    << kind);
+  return static_cast<long>(*value);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& rawItem : split(spec, ',')) {
+    const std::string_view item = trim(rawItem);
+    if (item.empty()) continue;
+    std::string kind(item);
+    std::string value;
+    if (const auto eq = kind.find('='); eq != std::string::npos) {
+      value = std::string(trim(kind.substr(eq + 1)));
+      kind = std::string(trim(std::string_view(kind).substr(0, eq)));
+    }
+    kind = toLower(kind);
+    if (kind == "deadline-now") {
+      DYNSCHED_CHECK_MSG(value.empty(), "DYNSCHED_FAULTS: deadline-now "
+                                        "takes no value");
+      plan.deadlineNow = true;
+    } else if (kind == "oom-at-estimate") {
+      DYNSCHED_CHECK_MSG(value.empty(), "DYNSCHED_FAULTS: oom-at-estimate "
+                                        "takes no value");
+      plan.oomAtEstimate = true;
+    } else if (kind == "lp-numerical-failure") {
+      plan.lpFailures =
+          value.empty() ? kAllSolves : parseFaultCount(kind, value, false);
+    } else if (kind == "fail-at-node") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: fail-at-node needs =N");
+      plan.failAtNode = parseFaultCount(kind, value, false);
+    } else if (kind == "fail-at-step") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: fail-at-step needs =N or =all");
+      plan.failAtStep = parseFaultCount(kind, value, true);
+    } else {
+      DYNSCHED_CHECK_MSG(
+          false, "DYNSCHED_FAULTS: unknown fault kind '"
+                     << kind << "' (valid: deadline-now, oom-at-estimate, "
+                               "lp-numerical-failure[=N], fail-at-node=N, "
+                               "fail-at-step=N|all)");
+    }
+  }
+  return plan;
+}
+
+const FaultPlan& FaultPlan::fromEnv() {
+  static const FaultPlan plan = [] {
+    const char* env = std::getenv("DYNSCHED_FAULTS");
+    return env != nullptr ? parse(env) : FaultPlan{};
+  }();
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  const char* sep = "";
+  if (deadlineNow) {
+    os << sep << "deadline-now";
+    sep = ",";
+  }
+  if (oomAtEstimate) {
+    os << sep << "oom-at-estimate";
+    sep = ",";
+  }
+  if (lpFailures == kAllSolves) {
+    os << sep << "lp-numerical-failure";
+    sep = ",";
+  } else if (lpFailures > 0) {
+    os << sep << "lp-numerical-failure=" << lpFailures;
+    sep = ",";
+  }
+  if (failAtNode >= 0) {
+    os << sep << "fail-at-node=" << failAtNode;
+    sep = ",";
+  }
+  if (failAtStep == kEveryStep) {
+    os << sep << "fail-at-step=all";
+  } else if (failAtStep >= 0) {
+    os << sep << "fail-at-step=" << failAtStep;
+  }
+  return os.str();
+}
+
+CancelToken::CancelToken(const SolveBudget& budget, const FaultPlan& faults)
+    : budget_(budget), faults_(faults) {
+  if (faults_.deadlineNow) {
+    // Deterministic "expired from the start": any deadline check fires
+    // immediately, with no dependence on the actual clock.
+    hasDeadline_ = true;
+    deadline_ = Clock::time_point::min();
+  } else if (budget_.wallSeconds > 0) {
+    hasDeadline_ = true;
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       budget_.wallSeconds));
+  }
+  if (faults_.lpFailures > 0) {
+    lpFailuresLeft_.store(faults_.lpFailures, std::memory_order_relaxed);
+  }
+  oomArmed_.store(faults_.oomAtEstimate, std::memory_order_relaxed);
+}
+
+void CancelToken::cancel(CancelReason reason) {
+  CancelReason expected = CancelReason::None;
+  // First reason wins; later cancellations keep the original provenance.
+  reason_.compare_exchange_strong(expected, reason,
+                                  std::memory_order_relaxed);
+}
+
+bool CancelToken::checkDeadline() {
+  if (!hasDeadline_) return false;
+  if (Clock::now() < deadline_) return false;
+  cancel(CancelReason::Deadline);
+  return true;
+}
+
+bool CancelToken::onLpIteration() {
+  const long n = lpIterations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cancelled()) return true;
+  if (budget_.maxLpIterations > 0 && n > budget_.maxLpIterations) {
+    cancel(CancelReason::LpIterationLimit);
+    return true;
+  }
+  return checkDeadline();
+}
+
+bool CancelToken::onNode() {
+  const long n = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cancelled()) return true;
+  if (budget_.maxNodes > 0 && n > budget_.maxNodes) {
+    cancel(CancelReason::NodeLimit);
+    return true;
+  }
+  return checkDeadline();
+}
+
+bool CancelToken::poll() {
+  if (cancelled()) return true;
+  return checkDeadline();
+}
+
+bool CancelToken::injectLpFailure() {
+  if (faults_.lpFailures == FaultPlan::kAllSolves) return true;
+  long left = lpFailuresLeft_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (lpFailuresLeft_.compare_exchange_weak(left, left - 1,
+                                              std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CancelToken::overMemory(double estimatedBytes) {
+  if (oomArmed_.exchange(false, std::memory_order_relaxed)) return true;
+  return budget_.maxEstimatedBytes > 0 &&
+         estimatedBytes > static_cast<double>(budget_.maxEstimatedBytes);
+}
+
+}  // namespace dynsched::util

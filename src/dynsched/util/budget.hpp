@@ -1,0 +1,155 @@
+// Unified solve budgets, cooperative cancellation, and deterministic fault
+// injection.
+//
+// Every exact solve in the self-tuning study (node LPs, the B&B node loop
+// and its cover-cut separation, the order B&B, the exhaustive oracle) shares
+// one SolveBudget carried by a CancelToken: a wall-clock deadline, a node
+// cap, an LP-iteration cap, and an estimated-memory cap. The token is polled
+// cooperatively at every simplex iteration and every B&B node, so a single
+// degenerate node relaxation can no longer overrun a step's overall limit —
+// the deadline is observed with an overshoot of at most one simplex
+// iteration.
+//
+// The token also carries a FaultPlan (DYNSCHED_FAULTS): deterministic,
+// counter-based fault injection with no wall-clock or RNG dependence, used
+// to force each rung of the tip::supervisedBestSchedule degradation ladder
+// in tests and in the check.sh / CI fault matrix.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dynsched::util {
+
+/// Why a supervised solve was asked to stop.
+enum class CancelReason : std::uint8_t {
+  None,              ///< not cancelled
+  Deadline,          ///< wall-clock deadline passed
+  NodeLimit,         ///< budgeted B&B node count exhausted
+  LpIterationLimit,  ///< budgeted simplex iteration count exhausted
+  MemoryLimit,       ///< estimated instance memory exceeded the cap
+  Fault,             ///< an injected fault cancelled the solve
+  External,          ///< cancel() called by the owner
+};
+
+const char* cancelReasonName(CancelReason reason);
+
+/// Resource envelope for one supervised self-tuning step. Zero / negative
+/// fields mean "unlimited" so a default-constructed budget never interferes.
+struct SolveBudget {
+  double wallSeconds = 0;               ///< <= 0: no deadline
+  long maxNodes = 0;                    ///< <= 0: unlimited B&B nodes
+  long maxLpIterations = 0;             ///< <= 0: unlimited simplex pivots
+  std::uint64_t maxEstimatedBytes = 0;  ///< 0: no memory cap
+
+  bool unlimited() const {
+    return wallSeconds <= 0 && maxNodes <= 0 && maxLpIterations <= 0 &&
+           maxEstimatedBytes == 0;
+  }
+};
+
+/// Deterministic fault plan, parsed from the DYNSCHED_FAULTS environment
+/// variable (or built directly by tests). Comma-separated kinds:
+///
+///   deadline-now              budget deadline already expired at creation
+///   oom-at-estimate           first memory estimate check reports over-cap
+///   lp-numerical-failure[=N]  the next N LP solves fail (bare kind: all)
+///   fail-at-node=N            the LP of B&B node N fails
+///   fail-at-step=N|all        self-tuning step N (0-based) throws
+///
+/// All triggers are counters over solver events — never wall clock, never
+/// randomness — so a faulted run is bit-reproducible.
+struct FaultPlan {
+  static constexpr long kEveryStep = -2;
+  static constexpr long kAllSolves = -1;
+
+  long failAtNode = -1;        ///< < 0: off
+  bool oomAtEstimate = false;
+  long lpFailures = 0;         ///< > 0: next N solves; kAllSolves: every one
+  bool deadlineNow = false;
+  long failAtStep = -1;        ///< < 0 (except kEveryStep): off
+
+  /// Parses a DYNSCHED_FAULTS spec. Throws CheckError on unknown kinds or
+  /// malformed values (a typo must not silently disable the matrix).
+  static FaultPlan parse(const std::string& spec);
+  /// The process-wide plan from DYNSCHED_FAULTS (parsed once, cached).
+  static const FaultPlan& fromEnv();
+
+  bool any() const {
+    return failAtNode >= 0 || oomAtEstimate || lpFailures != 0 ||
+           deadlineNow || failAtStep == kEveryStep || failAtStep >= 0;
+  }
+  bool failsStep(long step) const {
+    return failAtStep == kEveryStep || (failAtStep >= 0 && failAtStep == step);
+  }
+  /// Human-readable plan, for provenance notes ("", when empty).
+  std::string describe() const;
+};
+
+/// Shared cooperative cancellation point. One token supervises one
+/// self-tuning step end to end: the initial solve and a coarsened retry
+/// draw down the same counters ("the remaining budget"). All hooks are
+/// thread-safe; polling costs one atomic increment plus, where a deadline
+/// exists, one steady_clock read.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const SolveBudget& budget, const FaultPlan& faults = {});
+
+  /// External cancellation (e.g. a study shutting down its workers).
+  void cancel(CancelReason reason);
+  bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) != CancelReason::None;
+  }
+  CancelReason reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts one simplex iteration; true when the caller must stop. The
+  /// deadline is checked on every call so an overshoot is bounded by one
+  /// iteration.
+  bool onLpIteration();
+  /// Counts one branch-and-bound node; true when the caller must stop.
+  bool onNode();
+  /// Deadline / external-cancel check without consuming any counter (used
+  /// by separation loops and enumeration batches).
+  bool poll();
+
+  /// True when the fault plan says this LP solve must fail numerically
+  /// (consumes one planned failure unless the plan says "all").
+  bool injectLpFailure();
+  /// True when the fault plan targets exactly this B&B node.
+  bool shouldFailNode(long node) const {
+    return faults_.failAtNode >= 0 && node == faults_.failAtNode;
+  }
+  /// True when `estimatedBytes` exceeds the budget cap, or once when the
+  /// oom-at-estimate fault is armed. Does not cancel the token: the caller
+  /// may retry with a coarser grid under the same budget.
+  bool overMemory(double estimatedBytes);
+
+  long lpIterations() const {
+    return lpIterations_.load(std::memory_order_relaxed);
+  }
+  long nodes() const { return nodes_.load(std::memory_order_relaxed); }
+  const FaultPlan& faults() const { return faults_; }
+  bool hasDeadline() const { return hasDeadline_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool checkDeadline();
+
+  SolveBudget budget_{};
+  FaultPlan faults_{};
+  bool hasDeadline_ = false;
+  Clock::time_point deadline_{};
+  std::atomic<CancelReason> reason_{CancelReason::None};
+  std::atomic<long> lpIterations_{0};
+  std::atomic<long> nodes_{0};
+  std::atomic<long> lpFailuresLeft_{0};
+  std::atomic<bool> oomArmed_{false};
+};
+
+}  // namespace dynsched::util

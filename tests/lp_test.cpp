@@ -8,6 +8,7 @@
 
 #include "dynsched/lp/model.hpp"
 #include "dynsched/lp/simplex.hpp"
+#include "dynsched/util/budget.hpp"
 #include "dynsched/util/rng.hpp"
 
 namespace dynsched::lp {
@@ -315,6 +316,62 @@ INSTANTIATE_TEST_SUITE_P(RandomInstances, SimplexRandomTest,
                                   "_v" + std::to_string(info.param.vars) +
                                   "_r" + std::to_string(info.param.rows);
                          });
+
+
+TEST(Simplex, CancelDeadlineNowStopsBeforeFirstPivot) {
+  // The deadline is polled at the head of every iteration, so an already
+  // expired deadline is honored with zero pivots — the guaranteed overshoot
+  // bound of one iteration.
+  LpModel m;
+  const int a = m.addVariable(0, kInf, -3.0);
+  const int b = m.addVariable(0, kInf, -5.0);
+  m.addRow(-kInf, 4.0, {{a, 1.0}});
+  m.addRow(-kInf, 12.0, {{b, 2.0}});
+  m.addRow(-kInf, 18.0, {{a, 3.0}, {b, 2.0}});
+  util::FaultPlan faults;
+  faults.deadlineNow = true;
+  util::CancelToken token({}, faults);
+  SimplexOptions opts;
+  opts.cancel = &token;
+  const LpSolution s = solveLp(m, opts);
+  EXPECT_EQ(s.status, LpStatus::Cancelled);
+  EXPECT_EQ(s.iterations, 0);
+  EXPECT_EQ(token.reason(), util::CancelReason::Deadline);
+}
+
+TEST(Simplex, CancelIterationBudgetBoundsPivots) {
+  // A shared one-iteration budget stops the solve after at most one pivot
+  // even though the instance needs several — the mechanism that keeps a
+  // degenerate node LP inside branch & bound from overrunning a step.
+  LpModel m;
+  const int a = m.addVariable(0, kInf, -3.0);
+  const int b = m.addVariable(0, kInf, -5.0);
+  m.addRow(-kInf, 4.0, {{a, 1.0}});
+  m.addRow(-kInf, 12.0, {{b, 2.0}});
+  m.addRow(-kInf, 18.0, {{a, 3.0}, {b, 2.0}});
+  util::SolveBudget budget;
+  budget.maxLpIterations = 1;
+  util::CancelToken token(budget);
+  SimplexOptions opts;
+  opts.cancel = &token;
+  const LpSolution s = solveLp(m, opts);
+  EXPECT_EQ(s.status, LpStatus::Cancelled);
+  EXPECT_LE(s.iterations, 1);
+  EXPECT_EQ(token.reason(), util::CancelReason::LpIterationLimit);
+}
+
+TEST(Simplex, InjectedNumericalFailureConsumesOneFault) {
+  LpModel m;
+  m.addVariable(2, 5, 3.0);
+  util::FaultPlan faults;
+  faults.lpFailures = 1;
+  util::CancelToken token({}, faults);
+  SimplexOptions opts;
+  opts.cancel = &token;
+  EXPECT_EQ(solveLp(m, opts).status, LpStatus::NumericalFailure);
+  // The fault is consumed; the same token lets the next solve through.
+  EXPECT_EQ(solveLp(m, opts).status, LpStatus::Optimal);
+}
 
 }  // namespace
 }  // namespace dynsched::lp

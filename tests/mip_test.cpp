@@ -247,5 +247,111 @@ INSTANTIATE_TEST_SUITE_P(RandomInstances, MipRandomTest,
                                   "_r" + std::to_string(info.param.rows);
                          });
 
+
+TEST(Mip, CancelDeadlineNowWithoutIncumbentIsNoSolutionLimit) {
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::FaultPlan faults;
+  faults.deadlineNow = true;
+  util::CancelToken token({}, faults);
+  MipOptions options;
+  options.cancel = &token;
+  const MipResult r = solveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::NoSolutionLimit);
+  EXPECT_EQ(r.stopReason, util::CancelReason::Deadline);
+  EXPECT_NE(r.message.find("budget cancelled (deadline)"),
+            std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("before any incumbent was found"),
+            std::string::npos)
+      << r.message;
+}
+
+TEST(Mip, CancelDeadlineNowKeepsWarmStartIncumbent) {
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::FaultPlan faults;
+  faults.deadlineNow = true;
+  util::CancelToken token({}, faults);
+  MipOptions options;
+  options.cancel = &token;
+  options.warmStart = std::vector<double>{1, 0, 1, 0};  // value 17, feasible
+  const MipResult r = solveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::FeasibleLimit);
+  EXPECT_EQ(r.stopReason, util::CancelReason::Deadline);
+  EXPECT_NEAR(r.objective, -17.0, kTol);
+  EXPECT_GT(r.gap(), 0.0);
+}
+
+TEST(Mip, InjectedNodeFailureIsErrorWithDiagnosis) {
+  // Error must stay distinct from NoSolutionLimit: the message names the
+  // failing node so callers can report *why* the solver died, not just that
+  // no schedule came back.
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::FaultPlan faults;
+  faults.failAtNode = 1;
+  util::CancelToken token({}, faults);
+  MipOptions options;
+  options.cancel = &token;
+  const MipResult r = solveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::Error);
+  EXPECT_FALSE(r.hasSolution());
+  EXPECT_NE(r.message.find("injected LP failure at node 1"),
+            std::string::npos)
+      << r.message;
+}
+
+TEST(Mip, RootLpNumericalFailureIsErrorNamingTheNode) {
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::FaultPlan faults;
+  faults.lpFailures = util::FaultPlan::kAllSolves;
+  util::CancelToken token({}, faults);
+  MipOptions options;
+  options.cancel = &token;
+  const MipResult r = solveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::Error);
+  EXPECT_NE(r.message.find("numerical-failure"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("node 1"), std::string::npos) << r.message;
+}
+
+TEST(Mip, SharedIterationBudgetStopsInsideNodeLp) {
+  // Regression for the degenerate-node-LP hole: before the CancelToken the
+  // per-node simplex ran to ITS OWN iteration limit regardless of the step
+  // budget. A one-iteration shared budget must now stop the solve inside
+  // the first node relaxation.
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::SolveBudget budget;
+  budget.maxLpIterations = 1;
+  util::CancelToken token(budget);
+  MipOptions options;
+  options.cancel = &token;
+  const MipResult r = solveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::NoSolutionLimit);
+  EXPECT_EQ(r.stopReason, util::CancelReason::LpIterationLimit);
+  EXPECT_LE(r.lpIterations, 1);
+  EXPECT_NE(r.message.find("inside the LP of node"), std::string::npos)
+      << r.message;
+}
+
+TEST(Mip, NodeBudgetStopsTheSearch) {
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::SolveBudget budget;
+  budget.maxNodes = 1;
+  util::CancelToken token(budget);
+  MipOptions options;
+  options.cancel = &token;
+  options.coverCutRounds = 0;
+  const MipResult r = solveMip(m, options);
+  EXPECT_EQ(r.stopReason, util::CancelReason::NodeLimit);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Mip, CleanSolveLeavesNoMessage) {
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  const MipResult r = solveMip(m);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_TRUE(r.message.empty()) << r.message;
+  EXPECT_EQ(r.stopReason, util::CancelReason::None);
+}
+
 }  // namespace
 }  // namespace dynsched::mip

@@ -138,5 +138,37 @@ TEST_P(OrderBnbOracleTest, MatchesExhaustiveEnumeration) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, OrderBnbOracleTest,
                          ::testing::Range<std::uint64_t>(700, 724));
 
+
+TEST(OrderBnb, CancelTokenStopsSearchWithFeasibleIncumbent) {
+  // Even a zero-budget search returns the policy-schedule incumbent: the
+  // cancel hook bounds the DFS, never the feasibility guarantee.
+  const TipInstance inst = randomInstance(4242, 10, 60);
+  util::FaultPlan faults;
+  faults.deadlineNow = true;
+  util::CancelToken token({}, faults);
+  OrderBnbOptions options;
+  options.cancel = &token;
+  const OrderBnbResult r = solveByOrderBnb(inst, options);
+  EXPECT_FALSE(r.optimal);
+  EXPECT_LE(r.nodes, 1);
+  EXPECT_FALSE(r.schedule.empty());
+  EXPECT_EQ(r.schedule.validate(inst.history), std::nullopt);
+  EXPECT_EQ(token.reason(), util::CancelReason::Deadline);
+}
+
+TEST(OrderBnb, NodeBudgetMatchesLocalNodeLimit) {
+  const TipInstance inst = randomInstance(4243, 9, 60);
+  util::SolveBudget budget;
+  budget.maxNodes = 50;
+  util::CancelToken token(budget);
+  OrderBnbOptions options;
+  options.cancel = &token;
+  const OrderBnbResult r = solveByOrderBnb(inst, options);
+  EXPECT_FALSE(r.optimal);
+  EXPECT_LE(r.nodes, 52);  // cap + the node that observed the cancel
+  EXPECT_EQ(token.reason(), util::CancelReason::NodeLimit);
+  EXPECT_EQ(r.schedule.validate(inst.history), std::nullopt);
+}
+
 }  // namespace
 }  // namespace dynsched::tip

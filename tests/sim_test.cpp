@@ -8,6 +8,7 @@
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/trace/filters.hpp"
 #include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/error.hpp"
 #include "dynsched/util/rng.hpp"
 
 namespace dynsched::sim {
@@ -309,6 +310,64 @@ TEST(Simulator, DynPNeverLosesJobsUnderRetuneOnEnd) {
   options.retuneOnJobEnd = true;
   RmsSimulator sim(core::Machine{430}, options);
   EXPECT_EQ(sim.run(core::fromSwf(trace)).completed.size(), 120u);
+}
+
+
+TEST(Simulator, FailSoftCompletesTraceUnderStepFaults) {
+  // Every tuning step is declared failed; the simulator must degrade each
+  // one to the active policy, finish the whole trace, and account for the
+  // degradations.
+  const auto trace = trace::ctcModel().generate(120, 62);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  util::FaultPlan faults;
+  faults.failAtStep = util::FaultPlan::kEveryStep;
+  options.faults = faults;
+  RmsSimulator sim(core::Machine{430}, options);
+  const SimulationReport report = sim.run(core::fromSwf(trace));
+  EXPECT_EQ(report.completed.size(), 120u);
+  EXPECT_GT(report.tuningSteps, 0u);
+  EXPECT_EQ(report.degradedSteps, report.tuningSteps);
+  // With every tuning step degraded, dynP never races policies, so no
+  // switches can happen and no snapshots can be captured.
+  EXPECT_TRUE(report.switches.empty());
+  EXPECT_NE(report.summary(430).find("degraded="), std::string::npos);
+}
+
+TEST(Simulator, SingleStepFaultDegradesExactlyOne) {
+  const auto trace = trace::ctcModel().generate(120, 63);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  util::FaultPlan faults;
+  faults.failAtStep = 0;
+  options.faults = faults;
+  RmsSimulator sim(core::Machine{430}, options);
+  const SimulationReport report = sim.run(core::fromSwf(trace));
+  EXPECT_EQ(report.completed.size(), 120u);
+  EXPECT_EQ(report.degradedSteps, 1u);
+}
+
+TEST(Simulator, FailHardPropagatesStepFault) {
+  const auto trace = trace::ctcModel().generate(40, 64);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  options.failSoft = false;
+  util::FaultPlan faults;
+  faults.failAtStep = util::FaultPlan::kEveryStep;
+  options.faults = faults;
+  RmsSimulator sim(core::Machine{430}, options);
+  EXPECT_THROW(sim.run(core::fromSwf(trace)), CheckError);
+}
+
+TEST(Simulator, CleanRunReportsNoDegradation) {
+  const auto trace = trace::ctcModel().generate(80, 65);
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  RmsSimulator sim(core::Machine{430}, options);
+  const SimulationReport report = sim.run(core::fromSwf(trace));
+  EXPECT_GT(report.tuningSteps, 0u);
+  EXPECT_EQ(report.degradedSteps, 0u);
+  EXPECT_EQ(report.summary(430).find("degraded="), std::string::npos);
 }
 
 }  // namespace

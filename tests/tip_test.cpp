@@ -396,5 +396,25 @@ TEST_P(CompactionPropertyTest, CompactionNeverHurts) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, CompactionPropertyTest,
                          ::testing::Range<std::uint64_t>(6500, 6516));
 
+
+TEST(Exact, CancelTokenMakesEnumerationAnytime) {
+  std::vector<core::Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(makeJob(i + 1, 0, 1 + (i % 3), 50 + 10 * i));
+  }
+  TipInstance inst = makeInstance(6, std::move(jobs), 0, 5000, 1);
+  util::FaultPlan faults;
+  faults.deadlineNow = true;
+  util::CancelToken token({}, faults);
+  const ExactResult r =
+      exactBestSchedule(inst, core::MetricKind::ArtWW, &token);
+  EXPECT_FALSE(r.complete);
+  EXPECT_LT(r.ordersTried, 40320u);  // 8! — stopped well short
+  // Without a token the oracle completes and reports so.
+  const ExactResult full = exactBestSchedule(inst, core::MetricKind::ArtWW);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.ordersTried, 40320u);
+}
+
 }  // namespace
 }  // namespace dynsched::tip
