@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/study.hpp"
 #include "dynsched/trace/synthetic.hpp"
@@ -42,7 +43,18 @@ int main(int argc, char** argv) {
   auto& threads = flags.addInt("threads", 2, "parallel step solves");
   auto& minWaiting = flags.addInt("min-waiting", 5, "smallest captured step");
   auto& maxWaiting = flags.addInt("max-waiting", 30, "largest captured step");
+  auto& journal = flags.addString(
+      "journal", "", "crash-safe run journal path (empty = in-memory only)");
+  auto& resume = flags.addBool(
+      "resume", false, "replay finished rows from --journal before solving");
+  auto& reportPath = flags.addString(
+      "report", "",
+      "write the canonical (timing-free) study report to this path");
   if (!flags.parse(argc, argv)) return 0;
+  if (resume && journal.empty()) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 2;
+  }
 
   // 1. Simulate the trace under self-tuning dynP, capturing every step.
   const auto swf = trace::ctcModel().generate(
@@ -99,8 +111,36 @@ int main(int argc, char** argv) {
   study.mip.timeLimitSeconds = timeLimit;
   study.mip.maxNodes = maxNodes;
   study.metric = core::MetricKind::SldWA;
-  const std::vector<tip::StudyRow> table1 =
-      tip::runStudy(selected, study, static_cast<unsigned>(threads));
+  study.journal.path = journal;
+  study.journal.resume = resume;
+  tip::StudyResumeInfo resumeInfo;
+  std::vector<tip::StudyRow> table1;
+  try {
+    table1 = tip::runStudy(selected, study, static_cast<unsigned>(threads),
+                           &resumeInfo);
+  } catch (const analysis::AuditError& e) {
+    std::fprintf(stderr, "journal error: %s\n", e.what());
+    return 3;
+  }
+  if (!journal.empty()) {
+    std::printf("journal '%s': %zu/%zu rows replayed, %zu solved this run\n",
+                journal.c_str(), resumeInfo.replayedRows,
+                resumeInfo.totalSteps, resumeInfo.solvedRows);
+    if (resumeInfo.tailDropped) {
+      std::printf("journal warning: %s\n", resumeInfo.tailWarning.c_str());
+    }
+  }
+  if (resumeInfo.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted after %zu rows; journal flushed — re-run with "
+                 "--journal %s --resume to continue\n",
+                 table1.size(), journal.c_str());
+    return 130;  // 128 + SIGINT, the conventional interrupted exit
+  }
+  if (!reportPath.empty()) {
+    util::atomicWriteFile(reportPath, tip::studyReportText(table1));
+    std::printf("canonical report written to '%s'\n", reportPath.c_str());
+  }
 
   // 4. Print the paper's table.
   util::TextTable table({"submission time", "jobs", "makespan [sec]",

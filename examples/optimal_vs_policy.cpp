@@ -8,8 +8,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/lp/mps_writer.hpp"
-#include "dynsched/tip/compaction.hpp"
+#include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/study.hpp"
 #include "dynsched/tip/tim_model.hpp"
 #include "dynsched/tip/time_scaling.hpp"
@@ -30,7 +31,15 @@ int main(int argc, char** argv) {
                                  "memory budget for Eq. 6 (e.g. 8G)");
   auto& mpsPath = flags.addString(
       "mps", "", "export the time-indexed ILP as MPS for external solvers");
+  auto& journalPath = flags.addString(
+      "journal", "", "crash-safe run journal path (empty = in-memory only)");
+  auto& resume = flags.addBool(
+      "resume", false, "replay a finished solve from --journal if present");
   if (!flags.parse(argc, argv)) return 0;
+  if (resume && journalPath.empty()) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 2;
+  }
 
   // Synthesize the waiting set from the CTC-like class mixture, scaled to
   // the machine, plus a machine history from "running" jobs.
@@ -57,8 +66,9 @@ int main(int argc, char** argv) {
   const core::MetricEvaluator evaluator(now, machine.nodes);
   Time maxMakespan = now;
   core::Schedule best;
+  core::PolicyValues values{};
+  core::PolicyKind bestPolicy = core::PolicyKind::Fcfs;
   double bestValue = 0;
-  const char* bestName = "";
   std::cout << "Self-tuning step at t=" << now << " with " << waiting.size()
             << " waiting jobs on " << machine.nodes << " nodes\n\n";
   for (const core::PolicyKind policy : core::kAllPolicies) {
@@ -66,13 +76,14 @@ int main(int argc, char** argv) {
     const double sld = evaluator.evaluate(s, core::MetricKind::SldWA);
     const double art = evaluator.evaluate(s, core::MetricKind::ArtWW);
     maxMakespan = std::max(maxMakespan, s.makespan(now));
+    values.push_back(sld);
     std::printf("%-5s SLDwA=%8.3f ARTwW=%9.1f makespan=%lld s\n",
                 core::policyName(policy), sld, art,
                 static_cast<long long>(s.makespan(now) - now));
     if (best.empty() || sld < bestValue) {
       best = s;
       bestValue = sld;
-      bestName = core::policyName(policy);
+      bestPolicy = policy;
     }
   }
 
@@ -108,33 +119,60 @@ int main(int argc, char** argv) {
               << " (verify with any external MIP solver)\n";
   }
 
-  mip::MipOptions mipOptions;
-  mipOptions.objectiveIsIntegral = true;
-  mipOptions.timeLimitSeconds = 120;
-  mipOptions.branchGroups = tim.jobColumns;  // SOS1 over start slots
-  util::WallTimer timer;
-  const mip::MipResult solved = mip::solveMip(tim.mip, mipOptions);
-  if (!solved.hasSolution()) {
-    std::cout << "solver failed: " << mip::mipStatusName(solved.status);
-    if (!solved.message.empty()) std::cout << " — " << solved.message;
-    std::cout << "\n";
-    return 1;
-  }
-  const core::Schedule ilp =
-      tip::compactFromSlots(instance, tim.startSlots(solved.x));
-  const double ilpSld = evaluator.evaluate(ilp, core::MetricKind::SldWA);
-  std::printf(
-      "B&B: %s in %s, %ld nodes, gap %.2f%%\n\n",
-      mip::mipStatusName(solved.status),
-      util::formatDuration(timer.elapsedSeconds()).c_str(), solved.nodes,
-      solved.gap() * 100);
+  // The supervised solve, routed through the (optionally journaled) study
+  // pipeline so an interrupted run can be resumed exactly: pack this step
+  // into a StepSnapshot and run a one-row study on it.
+  sim::StepSnapshot snapshot;
+  snapshot.time = now;
+  snapshot.history = history;
+  snapshot.waiting = waiting;
+  snapshot.values = values;
+  snapshot.bestPolicy = bestPolicy;
+  snapshot.bestValue = bestValue;
+  snapshot.maxPolicyMakespan = maxMakespan;
+  snapshot.bestSchedule = best;
 
-  const double quality = ilpSld / bestValue;
+  tip::StudyOptions study;
+  study.scaling = scaling;
+  study.mip.timeLimitSeconds = 120;
+  study.metric = core::MetricKind::SldWA;
+  study.journal.path = journalPath;
+  study.journal.resume = resume;
+  util::WallTimer timer;
+  tip::StudyResumeInfo resumeInfo;
+  std::vector<tip::StudyRow> rows;
+  try {
+    rows = tip::runStudy({snapshot}, study, 1, &resumeInfo);
+  } catch (const analysis::AuditError& e) {
+    std::fprintf(stderr, "journal error: %s\n", e.what());
+    return 3;
+  }
+  if (!journalPath.empty()) {
+    std::printf("journal '%s': %zu rows replayed, %zu solved this run\n",
+                journalPath.c_str(), resumeInfo.replayedRows,
+                resumeInfo.solvedRows);
+    if (resumeInfo.tailDropped) {
+      std::printf("journal warning: %s\n", resumeInfo.tailWarning.c_str());
+    }
+  }
+  if (resumeInfo.interrupted || rows.empty()) {
+    std::fprintf(stderr,
+                 "interrupted before the step finished; re-run with "
+                 "--journal %s --resume to continue\n",
+                 journalPath.c_str());
+    return 130;  // 128 + SIGINT, the conventional interrupted exit
+  }
+  const tip::StudyRow& row = rows.front();
+  std::printf("B&B: %s [%s] in %s, %ld nodes, gap %.2f%%\n\n",
+              mip::mipStatusName(row.status), row.provenance.c_str(),
+              util::formatDuration(timer.elapsedSeconds()).c_str(), row.nodes,
+              row.gap * 100);
+
   std::printf("ILP (compacted) SLDwA=%.3f vs best policy %s SLDwA=%.3f\n",
-              ilpSld, bestName, bestValue);
+              row.ilpValue, core::policyName(row.bestPolicy), row.policyValue);
   std::printf("quality(%s, SLDwA) = %.4f -> performance loss %.2f%%\n",
-              bestName, quality, (1 - quality) * 100);
-  if (quality > 1) {
+              core::policyName(row.bestPolicy), row.quality, row.perfLossPct);
+  if (row.quality > 1) {
     std::cout << "(quality > 1: the policy beat the time-scaled ILP — the "
                  "paper's Section 3.2 effect)\n";
   }

@@ -5,7 +5,7 @@
 # Exits non-zero on any failure; missing required tools fail fast instead of
 # silently skipping a gate.
 #
-# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy|fuzz|faults]...
+# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy|fuzz|faults|kill]...
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -86,6 +86,71 @@ if ! skip faults; then
   fi
 fi
 
+if ! skip kill; then
+  # Kill matrix: run a small journaled study, hard-kill the process right
+  # after it persists row N (DYNSCHED_FAULTS=kill-at-step=N, exit 137), then
+  # resume from the journal. The canonical (timing-free) report must be
+  # byte-identical to an uninterrupted journal-free run for N in {first,
+  # mid, last}. A stale journal written by an incompatible format version
+  # must fail fast with a structured error, not be misread.
+  if [[ ! -x build-asan/bench/bench_table1 ]]; then
+    echo "=== [kill] building bench_table1 (asan) ==="
+    cmake -B build-asan -S . -DDYNSCHED_WERROR=ON \
+        -DDYNSCHED_SANITIZE="address,undefined" > build-asan.cmake.log 2>&1 \
+      || { cat build-asan.cmake.log; FAILED="$FAILED kill"; }
+    [[ " $FAILED " == *" kill "* ]] \
+      || cmake --build build-asan -j "$JOBS" --target bench_table1 \
+      || FAILED="$FAILED kill"
+  fi
+  if [[ " $FAILED " != *" kill "* ]]; then
+    KILL_DIR="$(mktemp -d)"
+    # Node-limited (not time-limited) solves: wall-clock cutoffs are not
+    # reproducible, a node budget is, and byte-identical resume needs
+    # deterministic solves.
+    BENCH=(build-asan/bench/bench_table1 --trace-jobs 400 --rows 4
+           --max-waiting 12 --time-limit 900 --max-nodes 300 --threads 1)
+    echo "=== [kill] reference run (no journal) ==="
+    "${BENCH[@]}" --report "$KILL_DIR/reference.txt" > /dev/null \
+      || FAILED="$FAILED kill"
+    # 4 rows -> kill after persisting the first (0), a middle (2), and the
+    # last (3) row; the resumed run must reproduce the reference exactly.
+    for step in 0 2 3; do
+      [[ " $FAILED " == *" kill "* ]] && break
+      echo "=== [kill] kill-at-step=$step -> resume ==="
+      rc=0
+      DYNSCHED_FAULTS="kill-at-step=$step" "${BENCH[@]}" \
+          --journal "$KILL_DIR/step$step.journal" > /dev/null 2>&1 || rc=$?
+      if [[ "$rc" -ne 137 ]]; then
+        echo "kill-at-step=$step: expected exit 137, got $rc" >&2
+        FAILED="$FAILED kill"
+        break
+      fi
+      "${BENCH[@]}" --journal "$KILL_DIR/step$step.journal" --resume \
+          --report "$KILL_DIR/step$step.txt" > /dev/null \
+        || { FAILED="$FAILED kill"; break; }
+      cmp "$KILL_DIR/reference.txt" "$KILL_DIR/step$step.txt" \
+        || { echo "kill-at-step=$step: resumed report differs" >&2
+             FAILED="$FAILED kill"; break; }
+    done
+    if [[ " $FAILED " != *" kill "* ]]; then
+      echo "=== [kill] stale journal format version fails fast ==="
+      printf 'DSJRNL1\n\x02\x00\x00\x00\x00\x00\x00\x00' \
+        > "$KILL_DIR/stale.journal"
+      rc=0
+      "${BENCH[@]}" --journal "$KILL_DIR/stale.journal" --resume \
+          > /dev/null 2> "$KILL_DIR/stale.err" || rc=$?
+      if [[ "$rc" -eq 0 ]] \
+          || ! grep -q "incompatible format version" "$KILL_DIR/stale.err"; then
+        echo "stale journal: expected a structured version error, got" \
+             "exit $rc:" >&2
+        cat "$KILL_DIR/stale.err" >&2
+        FAILED="$FAILED kill"
+      fi
+    fi
+    rm -rf "$KILL_DIR"
+  fi
+fi
+
 if ! skip tidy; then
   # The analysis gate only needs the library targets; --warnings-as-errors
   # inside DYNSCHED_ANALYZE fails the build on any finding in src/.
@@ -129,4 +194,5 @@ if [[ -n "$FAILED" ]]; then
   echo "check.sh FAILED:$FAILED" >&2
   exit 1
 fi
+rm -f build-*.cmake.log  # configure logs only matter when a mode failed
 echo "check.sh: all modes green"

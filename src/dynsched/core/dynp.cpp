@@ -24,6 +24,17 @@ DynPScheduler::DynPScheduler(Machine machine, DynPConfig config)
   stats_.chosenCount.assign(policies_.size(), 0);
 }
 
+void DynPScheduler::restoreState(PolicyKind activePolicy, DynPStats stats) {
+  policyIndex(policies_, activePolicy);  // validates membership
+  DYNSCHED_CHECK_MSG(stats.chosenCount.size() == policies_.size(),
+                     "restored chosenCount has " << stats.chosenCount.size()
+                                                 << " entries for "
+                                                 << policies_.size()
+                                                 << " policies");
+  activePolicy_ = activePolicy;
+  stats_ = std::move(stats);
+}
+
 DynPScheduler::~DynPScheduler() = default;
 
 SelfTuningResult DynPScheduler::selfTuningStep(

@@ -47,6 +47,13 @@ MachineHistory MachineHistory::fromRunningJobs(
   return MachineHistory(std::move(entries));
 }
 
+MachineHistory MachineHistory::fromEntries(std::vector<Entry> entries) {
+  MachineHistory history(std::move(entries));
+  DYNSCHED_CHECK_MSG(history.valid(),
+                     "deserialized machine history is not a valid staircase");
+  return history;
+}
+
 NodeCount MachineHistory::freeAt(Time t) const {
   DYNSCHED_CHECK_MSG(t >= startTime(),
                      "query at " << t << " before history start "

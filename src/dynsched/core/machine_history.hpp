@@ -42,6 +42,12 @@ class MachineHistory {
   static MachineHistory fromRunningJobs(const Machine& machine, Time now,
                                         const std::vector<RunningJob>& running);
 
+  /// Rebuilds a history from a previously captured entry list (journal
+  /// deserialization). The entries must satisfy valid(); throws CheckError
+  /// otherwise — a corrupted checkpoint must fail structurally, not produce
+  /// a staircase the planner silently misreads.
+  static MachineHistory fromEntries(std::vector<Entry> entries);
+
   const std::vector<Entry>& entries() const { return entries_; }
   Time startTime() const { return entries_.front().time; }
 

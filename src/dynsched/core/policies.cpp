@@ -29,6 +29,12 @@ PolicyKind parsePolicy(const std::string& name) {
   DYNSCHED_CHECK_MSG(false, "unknown policy '" << name << "'");
 }
 
+bool policyFromIndex(std::uint8_t index, PolicyKind& policy) {
+  if (index >= kExtendedPolicies.size()) return false;
+  policy = static_cast<PolicyKind>(index);
+  return true;
+}
+
 bool policyLess(PolicyKind policy, const Job& a, const Job& b) {
   switch (policy) {
     case PolicyKind::Fcfs:

@@ -37,6 +37,10 @@ const char* policyName(PolicyKind policy);
 /// Parses "fcfs"/"sjf"/"ljf" (case-insensitive). Throws on unknown names.
 PolicyKind parsePolicy(const std::string& name);
 
+/// Validated u8 → PolicyKind conversion (the journal serializes policies as
+/// one byte). Returns false on an out-of-range value.
+bool policyFromIndex(std::uint8_t index, PolicyKind& policy);
+
 /// Strict-weak-order comparator for the policy. Ties break by submit time,
 /// then job id, so orderings are deterministic.
 bool policyLess(PolicyKind policy, const Job& a, const Job& b);

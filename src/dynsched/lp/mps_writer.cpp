@@ -2,11 +2,12 @@
 
 #include <charconv>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/journal.hpp"
 
 namespace dynsched::lp {
 
@@ -147,9 +148,17 @@ void writeMps(const LpModel& model, std::ostream& out,
 
 void writeMpsFile(const LpModel& model, const std::string& path,
                   const MpsOptions& options) {
-  std::ofstream out(path);
-  DYNSCHED_CHECK_MSG(out.good(), "cannot write MPS file '" << path << "'");
+  // Serialize in memory, then publish via temp-file + rename: a crash (or
+  // kill-at-step fault) mid-export can never leave a torn .mps on disk —
+  // readers see the previous file or the complete new one, nothing between.
+  std::ostringstream out;
   writeMps(model, out, options);
+  try {
+    util::atomicWriteFile(path, out.str());
+  } catch (const util::JournalError& e) {
+    DYNSCHED_CHECK_MSG(false, "cannot write MPS file '" << path
+                                                        << "': " << e.what());
+  }
 }
 
 }  // namespace dynsched::lp

@@ -38,6 +38,12 @@ const char* mipStatusName(MipStatus status) {
   return "?";
 }
 
+bool mipStatusFromIndex(std::uint8_t index, MipStatus& status) {
+  if (index >= static_cast<std::uint8_t>(kMipStatuses)) return false;
+  status = static_cast<MipStatus>(index);
+  return true;
+}
+
 double MipResult::gap() const {
   if (!hasSolution()) return lp::kInf;
   const double denom = std::max(1.0, std::fabs(objective));

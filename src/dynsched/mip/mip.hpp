@@ -41,6 +41,13 @@ enum class MipStatus {
 
 const char* mipStatusName(MipStatus status);
 
+/// Number of MipStatus values (serialization range checks).
+inline constexpr int kMipStatuses = 5;
+
+/// Validated u8 → MipStatus conversion for journal deserialization.
+/// Returns false on an out-of-range value.
+bool mipStatusFromIndex(std::uint8_t index, MipStatus& status);
+
 struct MipResult {
   MipStatus status = MipStatus::Error;
   double objective = 0;      ///< incumbent objective (valid unless NoSolution*)

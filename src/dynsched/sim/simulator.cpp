@@ -1,12 +1,15 @@
 #include "dynsched/sim/simulator.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <optional>
 #include <queue>
 #include <sstream>
 
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
+#include "dynsched/util/signals.hpp"
 #include "dynsched/util/timer.hpp"
 
 namespace dynsched::sim {
@@ -33,6 +36,125 @@ struct WaitingEntry {
   core::Job job;
   Time plannedStart = kNoTime;
 };
+
+// ---------------------------------------------------------------------------
+// Journal (de)serialization. The checkpoint record carries the *entire*
+// mutable state of the event loop — everything the deterministic simulation
+// needs to continue exactly where a dead process stopped. MachineHistory
+// never appears except inside captured snapshots: the loop rebuilds it from
+// the running set on every replan.
+
+void putJob(util::PayloadWriter& w, const core::Job& job) {
+  w.i64(job.id);
+  w.i64(job.submit);
+  w.u32(static_cast<std::uint32_t>(job.width));
+  w.i64(job.estimate);
+  w.i64(job.actualRuntime);
+}
+
+core::Job takeJob(util::PayloadReader& r) {
+  core::Job job;
+  job.id = r.i64();
+  job.submit = r.i64();
+  job.width = static_cast<NodeCount>(r.u32());
+  job.estimate = r.i64();
+  job.actualRuntime = r.i64();
+  return job;
+}
+
+core::PolicyKind takePolicy(util::PayloadReader& r) {
+  const std::uint8_t byte = r.u8();
+  core::PolicyKind policy;
+  DYNSCHED_CHECK_MSG(core::policyFromIndex(byte, policy),
+                     "sim checkpoint: bad policy byte "
+                         << static_cast<int>(byte));
+  return policy;
+}
+
+void putSnapshot(util::PayloadWriter& w, const StepSnapshot& snap) {
+  w.i64(snap.time);
+  const auto& entries = snap.history.entries();
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const core::MachineHistory::Entry& e : entries) {
+    w.i64(e.time);
+    w.u32(static_cast<std::uint32_t>(e.freeNodes));
+  }
+  w.u32(static_cast<std::uint32_t>(snap.waiting.size()));
+  for (const core::Job& job : snap.waiting) putJob(w, job);
+  w.u32(static_cast<std::uint32_t>(snap.values.size()));
+  for (double v : snap.values) w.f64(v);
+  w.u8(static_cast<std::uint8_t>(snap.bestPolicy));
+  w.f64(snap.bestValue);
+  w.i64(snap.maxPolicyMakespan);
+  w.u32(static_cast<std::uint32_t>(snap.bestSchedule.size()));
+  for (const core::ScheduledJob& s : snap.bestSchedule.entries()) {
+    putJob(w, s.job);
+    w.i64(s.start);
+    w.i64(s.duration);
+  }
+}
+
+StepSnapshot takeSnapshot(util::PayloadReader& r) {
+  StepSnapshot snap;
+  snap.time = r.i64();
+  std::vector<core::MachineHistory::Entry> entries(r.u32());
+  for (auto& e : entries) {
+    e.time = r.i64();
+    e.freeNodes = static_cast<NodeCount>(r.u32());
+  }
+  snap.history = core::MachineHistory::fromEntries(std::move(entries));
+  snap.waiting.resize(r.u32());
+  for (core::Job& job : snap.waiting) job = takeJob(r);
+  snap.values.resize(r.u32());
+  for (double& v : snap.values) v = r.f64();
+  snap.bestPolicy = takePolicy(r);
+  snap.bestValue = r.f64();
+  snap.maxPolicyMakespan = r.i64();
+  const std::uint32_t scheduled = r.u32();
+  for (std::uint32_t i = 0; i < scheduled; ++i) {
+    const core::Job job = takeJob(r);
+    const Time start = r.i64();
+    const Time duration = r.i64();
+    snap.bestSchedule.add(job, start, duration);
+  }
+  return snap;
+}
+
+/// Deterministic fingerprint binding a simulator journal to its run: the
+/// machine, every option that influences the event sequence, and the trace.
+std::uint64_t simFingerprint(const core::Machine& machine,
+                             const SimOptions& options,
+                             const std::vector<core::Job>& trace) {
+  util::PayloadWriter w;
+  w.u32(static_cast<std::uint32_t>(machine.nodes));
+  w.u8(static_cast<std::uint8_t>(options.kind));
+  w.u8(static_cast<std::uint8_t>(options.fixedPolicy));
+  w.u8(static_cast<std::uint8_t>(options.dynp.metric));
+  w.str(options.dynp.decider);
+  w.u8(static_cast<std::uint8_t>(options.dynp.initialPolicy));
+  w.u32(static_cast<std::uint32_t>(options.dynp.policies.size()));
+  for (core::PolicyKind p : options.dynp.policies) {
+    w.u8(static_cast<std::uint8_t>(p));
+  }
+  w.u32(static_cast<std::uint32_t>(options.reservations.size()));
+  for (const core::Reservation& r : options.reservations) {
+    w.i64(r.id);
+    w.i64(r.start);
+    w.i64(r.duration);
+    w.u32(static_cast<std::uint32_t>(r.width));
+  }
+  w.boolean(options.retuneOnJobEnd);
+  w.boolean(options.failSoft);
+  w.boolean(options.snapshots.enabled);
+  w.u64(options.snapshots.minWaiting);
+  w.u64(options.snapshots.maxWaiting);
+  w.u64(options.snapshots.everyNth);
+  w.u64(options.snapshots.maxCount);
+  w.str(options.faults.has_value() ? options.faults->describe() : "");
+  w.u64(trace.size());
+  for (const core::Job& job : trace) putJob(w, job);
+  return util::fnv1a64(w.bytes().data(), w.bytes().size());
+}
 
 }  // namespace
 
@@ -96,6 +218,203 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
       running;
   std::vector<WaitingEntry> waiting;
   std::size_t eligibleSteps = 0;  // for SnapshotOptions::everyNth
+
+  // --- Crash-safety journal -------------------------------------------------
+  const bool journaled = options_.journal.enabled();
+  std::optional<util::JournalWriter> writer;
+  std::uint64_t eventCounter = 0;       // processed event-loop iterations
+  std::uint64_t lastCheckpointEvent = 0;
+
+  const auto writeCheckpoint = [&] {
+    util::PayloadWriter w;
+    w.u64(eventCounter);
+    w.u64(submitIdx);
+    w.u64(eligibleSteps);
+    w.u8(static_cast<std::uint8_t>(dynp.activePolicy()));
+    const core::DynPStats& stats = dynp.stats();
+    w.u64(stats.steps);
+    w.u64(stats.switches);
+    w.f64(stats.totalPlanningSeconds);
+    w.u32(static_cast<std::uint32_t>(stats.chosenCount.size()));
+    for (std::size_t c : stats.chosenCount) w.u64(c);
+    w.u64(report.replans);
+    w.u64(report.tuningSteps);
+    w.u64(report.degradedSteps);
+    w.u32(static_cast<std::uint32_t>(report.completed.size()));
+    for (const CompletedJob& c : report.completed) {
+      putJob(w, c.job);
+      w.i64(c.start);
+      w.i64(c.end);
+    }
+    w.u32(static_cast<std::uint32_t>(report.switches.size()));
+    for (const PolicySwitch& s : report.switches) {
+      w.i64(s.time);
+      w.u8(static_cast<std::uint8_t>(s.from));
+      w.u8(static_cast<std::uint8_t>(s.to));
+    }
+    auto runningCopy = running;
+    w.u32(static_cast<std::uint32_t>(runningCopy.size()));
+    while (!runningCopy.empty()) {
+      const RunningEntry& r = runningCopy.top();
+      putJob(w, r.job);
+      w.i64(r.start);
+      w.i64(r.actualEnd);
+      w.i64(r.estimatedEnd);
+      runningCopy.pop();
+    }
+    w.u32(static_cast<std::uint32_t>(waiting.size()));
+    for (const WaitingEntry& e : waiting) {
+      putJob(w, e.job);
+      w.i64(e.plannedStart);
+    }
+    w.u32(static_cast<std::uint32_t>(report.snapshots.size()));
+    for (const StepSnapshot& snap : report.snapshots) putSnapshot(w, snap);
+    writer->write(kSimCheckpointRecord, kSimCheckpointVersion, w);
+  };
+
+  const auto restoreCheckpoint = [&](const std::string& payload) {
+    util::PayloadReader r(payload);
+    eventCounter = r.u64();
+    submitIdx = static_cast<std::size_t>(r.u64());
+    eligibleSteps = static_cast<std::size_t>(r.u64());
+    const core::PolicyKind active = takePolicy(r);
+    core::DynPStats stats;
+    stats.steps = static_cast<std::size_t>(r.u64());
+    stats.switches = static_cast<std::size_t>(r.u64());
+    stats.totalPlanningSeconds = r.f64();
+    stats.chosenCount.resize(r.u32());
+    for (std::size_t& c : stats.chosenCount) {
+      c = static_cast<std::size_t>(r.u64());
+    }
+    if (options_.kind == SchedulerKind::DynP) {
+      dynp.restoreState(active, std::move(stats));
+    }
+    report.replans = static_cast<std::size_t>(r.u64());
+    report.tuningSteps = static_cast<std::size_t>(r.u64());
+    report.degradedSteps = static_cast<std::size_t>(r.u64());
+    report.completed.resize(r.u32());
+    for (CompletedJob& c : report.completed) {
+      c.job = takeJob(r);
+      c.start = r.i64();
+      c.end = r.i64();
+    }
+    report.switches.resize(r.u32());
+    for (PolicySwitch& s : report.switches) {
+      s.time = r.i64();
+      s.from = takePolicy(r);
+      s.to = takePolicy(r);
+    }
+    const std::uint32_t nRunning = r.u32();
+    for (std::uint32_t i = 0; i < nRunning; ++i) {
+      RunningEntry entry;
+      entry.job = takeJob(r);
+      entry.start = r.i64();
+      entry.actualEnd = r.i64();
+      entry.estimatedEnd = r.i64();
+      running.push(entry);
+    }
+    waiting.resize(r.u32());
+    for (WaitingEntry& e : waiting) {
+      e.job = takeJob(r);
+      e.plannedStart = r.i64();
+    }
+    report.snapshots.clear();
+    const std::uint32_t nSnapshots = r.u32();
+    report.snapshots.reserve(nSnapshots);
+    for (std::uint32_t i = 0; i < nSnapshots; ++i) {
+      report.snapshots.push_back(takeSnapshot(r));
+    }
+    DYNSCHED_CHECK_MSG(submitIdx <= trace.size(),
+                       "sim checkpoint submit cursor out of range");
+  };
+
+  if (journaled) {
+    const std::uint64_t fingerprint =
+        simFingerprint(machine_, options_, trace);
+    const std::string& path = options_.journal.path;
+    const auto checkRecordVersion = [&](const util::JournalRecord& record,
+                                        std::uint16_t supported) {
+      if (record.version > supported) {
+        throw analysis::AuditError(
+            "simulator journal '" + path + "' record type " +
+            std::to_string(record.type) + " has version " +
+            std::to_string(record.version) + "; this build reads up to " +
+            std::to_string(supported) +
+            " — the journal was written by a newer build");
+      }
+    };
+    const bool haveFile = [&] {
+      std::ifstream probe(path);
+      return probe.good();
+    }();
+    try {
+      if (options_.journal.resume && haveFile) {
+        const util::JournalReadResult read = util::readJournal(path);
+        if (read.tailDropped) {
+          report.tailDropped = true;
+          report.tailWarning = read.tailWarning;
+          DYNSCHED_LOG(Warn) << read.tailWarning;
+        }
+        if (read.records.empty() ||
+            read.records[0].type != kSimMetaRecord) {
+          throw analysis::AuditError(
+              "simulator journal '" + path +
+              "' has no sim-meta record; it was not written by "
+              "RmsSimulator");
+        }
+        const std::string* checkpoint = nullptr;
+        for (const util::JournalRecord& record : read.records) {
+          if (record.type == kSimMetaRecord) {
+            checkRecordVersion(record, kSimMetaVersion);
+            util::PayloadReader meta(record.payload);
+            const std::uint64_t storedPrint = meta.u64();
+            const std::uint64_t storedJobs = meta.u64();
+            if (storedPrint != fingerprint || storedJobs != trace.size()) {
+              throw analysis::AuditError(
+                  "simulator journal '" + path +
+                  "' belongs to a different run (fingerprint/trace "
+                  "mismatch); refusing to mix runs — start a fresh "
+                  "journal");
+            }
+          } else if (record.type == kSimCheckpointRecord) {
+            checkRecordVersion(record, kSimCheckpointVersion);
+            checkpoint = &record.payload;  // last valid checkpoint wins
+          }
+          // Unknown record types are additive extensions: skip.
+        }
+        if (checkpoint != nullptr) {
+          restoreCheckpoint(*checkpoint);
+          report.resumed = true;
+          report.resumedAtEvent = eventCounter;
+          lastCheckpointEvent = eventCounter;
+          DYNSCHED_LOG(Info)
+              << "resumed simulation from checkpoint at event "
+              << eventCounter << " (" << report.completed.size()
+              << " jobs already completed)";
+        }
+        writer.emplace(util::JournalWriter::append(
+            path, read, options_.journal.fsyncEachRecord));
+      } else {
+        writer.emplace(util::JournalWriter::create(
+            path, options_.journal.fsyncEachRecord));
+        util::PayloadWriter meta;
+        meta.u64(fingerprint);
+        meta.u64(trace.size());
+        meta.u32(static_cast<std::uint32_t>(machine_.nodes));
+        writer->write(kSimMetaRecord, kSimMetaVersion, meta);
+        writer->flush();
+      }
+    } catch (const util::JournalError& e) {
+      throw analysis::AuditError(std::string("simulator journal '") + path +
+                                 "': " + e.what());
+    } catch (const CheckError& e) {
+      throw analysis::AuditError(std::string("simulator journal '") + path +
+                                 "': " + e.what());
+    }
+    // From here on Ctrl-C must reach the checkpoint-and-flush path below.
+    util::installInterruptHandlers();
+  }
+  // --------------------------------------------------------------------------
 
   const auto historyNow = [&](Time now) {
     std::vector<core::RunningJob> runningJobs;
@@ -224,6 +543,27 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
 
   const Time kNone = kTimeInfinity;
   while (submitIdx < trace.size() || !running.empty() || !waiting.empty()) {
+    if (journaled) {
+      if (util::interruptRequested()) {
+        // Degrade the interrupt to "checkpoint, flush, return partial
+        // report" — a resumed run continues from exactly this state.
+        writeCheckpoint();
+        writer->flush();
+        report.interrupted = true;
+        util::clearInterrupt();
+        DYNSCHED_LOG(Warn)
+            << "simulation interrupted at event " << eventCounter
+            << "; state checkpointed to '" << options_.journal.path
+            << "' — resume to continue";
+        break;
+      }
+      if (options_.journal.checkpointEvery > 0 &&
+          eventCounter > lastCheckpointEvent &&
+          eventCounter % options_.journal.checkpointEvery == 0) {
+        writeCheckpoint();
+        lastCheckpointEvent = eventCounter;
+      }
+    }
     const Time tSubmit =
         submitIdx < trace.size() ? trace[submitIdx].submit : kNone;
     const Time tEnd = !running.empty() ? running.top().actualEnd : kNone;
@@ -245,6 +585,7 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
         report.completed.push_back(CompletedJob{r.job, r.start, r.actualEnd});
       }
       replan(now, /*tuningEvent=*/false);
+      ++eventCounter;
       continue;
     }
     if (tSubmit == now) {
@@ -252,6 +593,7 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
       waiting.push_back(WaitingEntry{trace[submitIdx]});
       ++submitIdx;
       replan(now, /*tuningEvent=*/true);
+      ++eventCounter;
       continue;
     }
     // Start every job whose planned start has arrived.
@@ -269,6 +611,14 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
       }
     }
     DYNSCHED_CHECK(startedAny);
+    ++eventCounter;
+  }
+
+  if (journaled && !report.interrupted) {
+    // A finished journal ends with a checkpoint of the final state, so a
+    // (redundant) resume of a completed run replays straight to the end.
+    writeCheckpoint();
+    writer->flush();
   }
 
   if (!report.completed.empty()) {
@@ -283,6 +633,14 @@ SimulationReport RmsSimulator::run(const std::vector<core::Job>& jobs) {
   if (options_.kind == SchedulerKind::DynP) report.dynpStats = dynp.stats();
   report.wallSeconds = wall.elapsedSeconds();
   return report;
+}
+
+SimulationReport RmsSimulator::resume(const std::string& journalPath,
+                                      const std::vector<core::Job>& jobs) {
+  RmsSimulator resumed(machine_, options_);
+  resumed.options_.journal.path = journalPath;
+  resumed.options_.journal.resume = true;
+  return resumed.run(jobs);
 }
 
 double SimulationReport::avgResponseTime() const {

@@ -20,6 +20,7 @@
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/planner.hpp"
 #include "dynsched/util/budget.hpp"
+#include "dynsched/util/journal.hpp"
 
 namespace dynsched::sim {
 
@@ -79,6 +80,15 @@ struct SimOptions {
   /// read from DYNSCHED_FAULTS — a study process with env faults set must
   /// still be able to simulate cleanly to capture its snapshots.
   std::optional<util::FaultPlan> faults;
+  /// Crash-safety journal: with `journal.path` set the simulator writes a
+  /// meta record (config + trace fingerprint) and a full state checkpoint
+  /// every `journal.checkpointEvery` processed events — the event clock,
+  /// submit cursor, running/waiting sets, dynP policy state, and everything
+  /// already reported (completed jobs, switches, captured snapshots). With
+  /// `journal.resume` the run restarts from the last valid checkpoint
+  /// instead of from the first submission; the deterministic event loop
+  /// then reproduces the uninterrupted run exactly (wall clock aside).
+  util::RunJournalOptions journal;
 };
 
 /// A finished job with its observed timing.
@@ -109,6 +119,16 @@ struct SimulationReport {
   /// (SimOptions::failSoft); always 0 on a healthy run.
   std::size_t degradedSteps = 0;
   double wallSeconds = 0;
+  /// SIGINT/SIGTERM stopped the run early (journaled runs only): the state
+  /// was checkpointed and the journal flushed before returning this partial
+  /// report — resume continues from here.
+  bool interrupted = false;
+  /// This run restarted from a journal checkpoint (events replayed: the
+  /// event-counter value of that checkpoint).
+  bool resumed = false;
+  std::uint64_t resumedAtEvent = 0;
+  bool tailDropped = false;   ///< the journal had a torn/corrupt tail
+  std::string tailWarning;    ///< structured description of that tail
 
   /// Metrics over *actual* execution (observed starts/ends, actual runtime
   /// as the slowdown denominator).
@@ -121,13 +141,27 @@ struct SimulationReport {
   std::string summary(NodeCount machineSize) const;
 };
 
+/// Simulator-journal record types (namespaced 10..19) and their current
+/// schema versions (see DESIGN.md, journal format policy).
+inline constexpr std::uint16_t kSimMetaRecord = 10;
+inline constexpr std::uint16_t kSimCheckpointRecord = 11;
+inline constexpr std::uint16_t kSimMetaVersion = 1;
+inline constexpr std::uint16_t kSimCheckpointVersion = 1;
+
 class RmsSimulator {
  public:
   RmsSimulator(core::Machine machine, SimOptions options);
 
   /// Simulates the full trace (jobs need not be sorted; they are processed
   /// in submit order). Returns the report; the simulator can be reused.
+  /// Honours SimOptions::journal (checkpointing, resume, SIGINT/SIGTERM
+  /// degradation to "checkpoint, flush, return partial report").
   SimulationReport run(const std::vector<core::Job>& jobs);
+
+  /// Convenience resume entry point: identical to run() with
+  /// `options.journal.path = journalPath` and `options.journal.resume`.
+  SimulationReport resume(const std::string& journalPath,
+                          const std::vector<core::Job>& jobs);
 
  private:
   core::Machine machine_;

@@ -1,8 +1,16 @@
 #include "dynsched/tip/study.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/logging.hpp"
+#include "dynsched/util/signals.hpp"
 #include "dynsched/util/thread_pool.hpp"
 
 namespace dynsched::tip {
@@ -47,20 +55,399 @@ StudyRow runStep(const sim::StepSnapshot& snapshot,
   return row;
 }
 
+std::uint64_t studyFingerprint(const std::vector<sim::StepSnapshot>& snapshots,
+                               const StudyOptions& options) {
+  util::PayloadWriter w;
+  w.u64(snapshots.size());
+  for (const sim::StepSnapshot& snap : snapshots) {
+    w.i64(snap.time);
+    w.u64(snap.waiting.size());
+    w.i64(snap.accumulatedRuntime());
+    w.i64(snap.maxPolicyMakespan);
+    w.u8(static_cast<std::uint8_t>(snap.bestPolicy));
+    for (const core::Job& job : snap.waiting) w.i64(job.id);
+  }
+  w.u8(static_cast<std::uint8_t>(options.metric));
+  w.boolean(options.warmStart);
+  w.boolean(options.roundingHeuristic);
+  w.i64(options.forcedTimeScale);
+  w.f64(options.scaling.bytesPerEntry);
+  w.u64(options.scaling.totalMemoryBytes);
+  w.f64(options.scaling.solverOverheadFactor);
+  w.i64(options.scaling.roundToSeconds);
+  w.i64(options.scaling.minScale);
+  w.f64(options.budget.wallSeconds);
+  w.i64(options.budget.maxNodes);
+  w.i64(options.budget.maxLpIterations);
+  w.u64(options.budget.maxEstimatedBytes);
+  w.i64(options.mip.maxNodes);
+  w.f64(options.mip.timeLimitSeconds);
+  w.f64(options.mip.relGapTol);
+  w.f64(options.mip.integralityTol);
+  w.boolean(options.mip.objectiveIsIntegral);
+  w.i64(options.mip.coverCutRounds);
+  w.i64(options.mip.maxCoverCutsPerRound);
+  return util::fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
+void writeStudyRowPayload(const StudyRow& row, std::size_t index,
+                          util::PayloadWriter& out) {
+  out.u64(index);
+  out.i64(row.submissionTime);
+  out.u64(row.jobs);
+  out.i64(row.makespan);
+  out.i64(row.accRuntime);
+  out.i64(row.timeScale);
+  out.u8(static_cast<std::uint8_t>(row.bestPolicy));
+  out.f64(row.policyValue);
+  out.f64(row.ilpValue);
+  out.f64(row.quality);
+  out.f64(row.perfLossPct);
+  out.f64(row.solveSeconds);
+  out.u8(static_cast<std::uint8_t>(row.status));
+  out.f64(row.gap);
+  out.i64(row.nodes);
+  out.u32(static_cast<std::uint32_t>(row.lpColumns));
+  out.u32(static_cast<std::uint32_t>(row.lpRows));
+  out.u8(static_cast<std::uint8_t>(solveRungIndex(row.rung)));
+  out.u8(static_cast<std::uint8_t>(row.stopReason));
+  out.str(row.provenance);
+}
+
+std::size_t readStudyRowPayload(util::PayloadReader& in, StudyRow& row) {
+  const std::uint64_t index = in.u64();
+  row.submissionTime = in.i64();
+  row.jobs = static_cast<std::size_t>(in.u64());
+  row.makespan = in.i64();
+  row.accRuntime = in.i64();
+  row.timeScale = in.i64();
+  const std::uint8_t policy = in.u8();
+  DYNSCHED_CHECK_MSG(core::policyFromIndex(policy, row.bestPolicy),
+                     "journal row: bad policy byte "
+                         << static_cast<int>(policy));
+  row.policyValue = in.f64();
+  row.ilpValue = in.f64();
+  row.quality = in.f64();
+  row.perfLossPct = in.f64();
+  row.solveSeconds = in.f64();
+  const std::uint8_t status = in.u8();
+  DYNSCHED_CHECK_MSG(mip::mipStatusFromIndex(status, row.status),
+                     "journal row: bad MIP status byte "
+                         << static_cast<int>(status));
+  row.gap = in.f64();
+  row.nodes = static_cast<long>(in.i64());
+  row.lpColumns = static_cast<int>(in.u32());
+  row.lpRows = static_cast<int>(in.u32());
+  const std::uint8_t rung = in.u8();
+  DYNSCHED_CHECK_MSG(solveRungFromIndex(rung, row.rung),
+                     "journal row: bad rung byte " << static_cast<int>(rung));
+  const std::uint8_t stop = in.u8();
+  DYNSCHED_CHECK_MSG(util::cancelReasonFromIndex(stop, row.stopReason),
+                     "journal row: bad stop-reason byte "
+                         << static_cast<int>(stop));
+  row.provenance = in.str();
+  return static_cast<std::size_t>(index);
+}
+
+namespace {
+
+/// One journaled study in flight: the writer plus the bookkeeping that
+/// decides what still needs solving. All journal I/O errors surface as
+/// analysis::AuditError — the structured "this run cannot be trusted"
+/// signal the study layer already uses.
+class StudyJournal {
+ public:
+  StudyJournal(const std::vector<sim::StepSnapshot>& snapshots,
+               const StudyOptions& options, StudyResumeInfo& info)
+      : options_(options.journal),
+        fingerprint_(studyFingerprint(snapshots, options)),
+        rows_(snapshots.size()),
+        solved_(snapshots.size(), false),
+        info_(info) {
+    info_.totalSteps = snapshots.size();
+    const bool haveFile = [&] {
+      std::ifstream probe(options_.path);
+      return probe.good();
+    }();
+    if (options_.resume && haveFile) {
+      replay();
+      util::JournalReadResult read;
+      try {
+        read = util::readJournal(options_.path);
+      } catch (const util::JournalError& e) {
+        throw analysis::AuditError(e.what());
+      }
+      writer_.emplace(util::JournalWriter::append(options_.path, read,
+                                                  options_.fsyncEachRecord));
+    } else {
+      try {
+        writer_.emplace(util::JournalWriter::create(
+            options_.path, options_.fsyncEachRecord));
+      } catch (const util::JournalError& e) {
+        throw analysis::AuditError(e.what());
+      }
+      util::PayloadWriter meta;
+      meta.u64(fingerprint_);
+      meta.u64(rows_.size());
+      writer_->write(kStudyMetaRecord, kStudyMetaVersion, meta);
+      writer_->flush();
+    }
+  }
+
+  // Locked: vector<bool> packs bits, so even disjoint indexes share words
+  // with commit()'s writes when workers probe their steps concurrently.
+  bool solved(std::size_t index) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return solved_[index];
+  }
+  std::vector<StudyRow>& rows() { return rows_; }
+
+  /// Appends one finished row (thread-safe) and fires the kill-at-step
+  /// fault after it is durably framed — the deterministic stand-in for
+  /// SIGKILL in the kill matrix.
+  void commit(std::size_t index, const StudyRow& row,
+              const util::FaultPlan& faults) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rows_[index] = row;
+    solved_[index] = true;
+    ++info_.solvedRows;
+    util::PayloadWriter payload;
+    writeStudyRowPayload(row, index, payload);
+    writer_->write(kStudyRowRecord, kStudyRowVersion, payload);
+    ++written_;
+    if (options_.checkpointEvery > 0 &&
+        written_ % options_.checkpointEvery == 0) {
+      writeCursor();
+    }
+    if (faults.killsAtStep(static_cast<long>(index))) {
+      // Flush so the row above survives, then die the way a SIGKILL would:
+      // no unwinding, no atexit, nothing else reaches the disk.
+      writer_->flush();
+      std::_Exit(util::kKillFaultExitCode);
+    }
+  }
+
+  void finish() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    writeCursor();
+    writer_->flush();
+  }
+
+ private:
+  void writeCursor() {
+    util::PayloadWriter cursor;
+    cursor.u64(written_);
+    std::size_t next = rows_.size();
+    for (std::size_t i = 0; i < solved_.size(); ++i) {
+      if (!solved_[i]) {
+        next = i;
+        break;
+      }
+    }
+    cursor.u64(next);
+    writer_->write(kStudyCursorRecord, kStudyCursorVersion, cursor);
+  }
+
+  void replay() {
+    util::JournalReadResult read;
+    try {
+      read = util::readJournal(options_.path);
+    } catch (const util::JournalError& e) {
+      throw analysis::AuditError(e.what());
+    }
+    if (read.tailDropped) {
+      info_.tailDropped = true;
+      info_.tailWarning = read.tailWarning;
+      DYNSCHED_LOG(Warn) << read.tailWarning;
+    }
+    if (read.records.empty() || read.records[0].type != kStudyMetaRecord) {
+      throw analysis::AuditError(
+          "study journal '" + options_.path +
+          "' has no study-meta record; it was not written by runStudy");
+    }
+    for (const util::JournalRecord& record : read.records) {
+      try {
+        if (record.type == kStudyMetaRecord) {
+          checkVersion(record, kStudyMetaVersion);
+          util::PayloadReader in(record.payload);
+          const std::uint64_t fingerprint = in.u64();
+          const std::uint64_t count = in.u64();
+          if (fingerprint != fingerprint_ || count != rows_.size()) {
+            throw analysis::AuditError(
+                "study journal '" + options_.path +
+                "' belongs to a different study (fingerprint/step-count "
+                "mismatch); refusing to mix runs — start a fresh journal");
+          }
+        } else if (record.type == kStudyRowRecord) {
+          checkVersion(record, kStudyRowVersion);
+          util::PayloadReader in(record.payload);
+          StudyRow row;
+          const std::size_t index = readStudyRowPayload(in, row);
+          if (index >= rows_.size()) {
+            throw analysis::AuditError(
+                "study journal '" + options_.path + "' row index " +
+                std::to_string(index) + " is out of range");
+          }
+          if (!solved_[index]) ++info_.replayedRows;
+          rows_[index] = std::move(row);
+          solved_[index] = true;
+        } else if (record.type == kStudyCursorRecord) {
+          checkVersion(record, kStudyCursorVersion);
+        }
+        // Unknown record types are additive extensions: skip.
+      } catch (const util::JournalError& e) {
+        throw analysis::AuditError(std::string("study journal '") +
+                                   options_.path + "': " + e.what());
+      } catch (const CheckError& e) {
+        throw analysis::AuditError(std::string("study journal '") +
+                                   options_.path + "': " + e.what());
+      }
+    }
+  }
+
+  void checkVersion(const util::JournalRecord& record,
+                    std::uint16_t supported) const {
+    if (record.version > supported) {
+      throw analysis::AuditError(
+          "study journal '" + options_.path + "' record type " +
+          std::to_string(record.type) + " has version " +
+          std::to_string(record.version) + "; this build reads up to " +
+          std::to_string(supported) +
+          " — the journal was written by a newer build");
+    }
+  }
+
+  util::RunJournalOptions options_;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<StudyRow> rows_;
+  std::vector<bool> solved_;
+  StudyResumeInfo& info_;
+  std::optional<util::JournalWriter> writer_;
+  mutable std::mutex mutex_;
+  std::uint64_t written_ = 0;
+};
+
+std::vector<StudyRow> runStudyJournaled(
+    const std::vector<sim::StepSnapshot>& snapshots,
+    const StudyOptions& options, unsigned threads, StudyResumeInfo& info) {
+  StudyJournal journal(snapshots, options, info);
+  const util::FaultPlan faults = options.faults.has_value()
+                                     ? *options.faults
+                                     : util::FaultPlan::fromEnv();
+  // From here on a Ctrl-C must reach the journal shutdown path, not kill
+  // the process mid-append.
+  util::installInterruptHandlers();
+
+  const auto solveOne = [&](std::size_t i) {
+    if (journal.solved(i) || util::interruptRequested()) return;
+    const StudyRow row =
+        runStep(snapshots[i], options, static_cast<long>(i));
+    if (util::interruptRequested()) {
+      // The interrupt may have degraded this very solve (the token cancels
+      // cooperatively); journaling it would persist an artifact of the
+      // Ctrl-C. Drop it — resume re-solves the step cleanly.
+      return;
+    }
+    journal.commit(i, row, faults);
+  };
+
+  if (threads <= 1 || snapshots.size() <= 1) {
+    for (std::size_t i = 0; i < snapshots.size(); ++i) solveOne(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(snapshots.size(), solveOne);
+  }
+  journal.finish();
+
+  if (util::interruptRequested()) {
+    info.interrupted = true;
+    util::clearInterrupt();
+    // Hand back the contiguous finished prefix; later rows (already safe in
+    // the journal, if any) reappear on resume.
+    std::vector<StudyRow> prefix;
+    for (std::size_t i = 0;
+         i < snapshots.size() && journal.solved(i); ++i) {
+      prefix.push_back(journal.rows()[i]);
+    }
+    DYNSCHED_LOG(Warn) << "study interrupted after " << info.solvedRows
+                       << " newly solved rows; journal flushed — resume to "
+                          "continue";
+    return prefix;
+  }
+  return std::move(journal.rows());
+}
+
+}  // namespace
+
 std::vector<StudyRow> runStudy(const std::vector<sim::StepSnapshot>& snapshots,
-                               const StudyOptions& options, unsigned threads) {
+                               const StudyOptions& options, unsigned threads,
+                               StudyResumeInfo* info) {
+  StudyResumeInfo localInfo;
+  StudyResumeInfo& out = info != nullptr ? *info : localInfo;
+  out = StudyResumeInfo{};
+  out.totalSteps = snapshots.size();
+  if (options.journal.enabled()) {
+    return runStudyJournaled(snapshots, options, threads, out);
+  }
   std::vector<StudyRow> rows(snapshots.size());
   if (threads <= 1 || snapshots.size() <= 1) {
     for (std::size_t i = 0; i < snapshots.size(); ++i) {
       rows[i] = runStep(snapshots[i], options, static_cast<long>(i));
     }
+    out.solvedRows = rows.size();
     return rows;
   }
   util::ThreadPool pool(threads);
   pool.parallelFor(snapshots.size(), [&](std::size_t i) {
     rows[i] = runStep(snapshots[i], options, static_cast<long>(i));
   });
+  out.solvedRows = rows.size();
   return rows;
+}
+
+std::vector<StudyRow> resumeStudy(
+    const std::string& journalPath,
+    const std::vector<sim::StepSnapshot>& snapshots,
+    const StudyOptions& options, unsigned threads, StudyResumeInfo* info) {
+  StudyOptions resumed = options;
+  resumed.journal.path = journalPath;
+  resumed.journal.resume = true;
+  return runStudy(snapshots, resumed, threads, info);
+}
+
+std::string studyReportText(const std::vector<StudyRow>& rows,
+                            bool includeTiming) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "# dynsched study report v1 rows=" << rows.size() << '\n';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const StudyRow& row = rows[i];
+    os << "row " << i << " time=" << row.submissionTime
+       << " jobs=" << row.jobs << " makespan=" << row.makespan
+       << " accRuntime=" << row.accRuntime << " scale=" << row.timeScale
+       << " policy=" << core::policyName(row.bestPolicy)
+       << " policyValue=" << row.policyValue
+       << " ilpValue=" << row.ilpValue << " quality=" << row.quality
+       << " perfLoss=" << row.perfLossPct
+       << " status=" << mip::mipStatusName(row.status) << " gap=" << row.gap
+       << " nodes=" << row.nodes << " lpCols=" << row.lpColumns
+       << " lpRows=" << row.lpRows << " rung=" << solveRungName(row.rung)
+       << " stop=" << util::cancelReasonName(row.stopReason);
+    if (includeTiming) os << " seconds=" << row.solveSeconds;
+    os << " prov=\"" << row.provenance << "\"\n";
+  }
+  const StudyAverages avg = averageRows(rows);
+  os << "averages rows=" << avg.rows << " jobs=" << avg.jobs
+     << " makespan=" << avg.makespan << " accRuntime=" << avg.accRuntime
+     << " scale=" << avg.timeScale << " quality=" << avg.quality
+     << " perfLoss=" << avg.perfLossPct;
+  if (includeTiming) os << " seconds=" << avg.solveSeconds;
+  os << " rungs=";
+  for (std::size_t r = 0; r < avg.rungCounts.size(); ++r) {
+    os << (r > 0 ? "," : "") << avg.rungCounts[r];
+  }
+  os << " budgetHits=" << avg.budgetHits << '\n';
+  return os.str();
 }
 
 StudyAverages averageRows(const std::vector<StudyRow>& rows) {

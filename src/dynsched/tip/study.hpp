@@ -14,9 +14,20 @@
 // Every step runs through the supervised degradation ladder (supervised.hpp)
 // so a budget overrun or a solver failure degrades that one row — with
 // recorded provenance — instead of aborting the study.
+//
+// With StudyOptions::journal enabled the study is additionally crash-safe:
+// every finished row (including its supervised provenance) is appended to a
+// checksummed run journal, the study cursor is checkpointed periodically,
+// and SIGINT/SIGTERM degrade to "flush the journal and stop" instead of
+// losing the run. runStudy() with journal.resume replays the journal's
+// valid rows, drops a torn tail with a structured warning, and re-solves
+// only what is missing — run → kill → resume reproduces an uninterrupted
+// run bit for bit (wall-clock fields aside, which studyReportText()
+// excludes from the canonical comparison).
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,12 +38,16 @@
 #include "dynsched/tip/supervised.hpp"
 #include "dynsched/tip/tim_model.hpp"
 #include "dynsched/tip/time_scaling.hpp"
+#include "dynsched/util/journal.hpp"
 
 namespace dynsched::tip {
 
 /// Study knobs = the supervised solve knobs (budget, faults, scaling, MIP
-/// configuration); the study adds nothing on top.
-struct StudyOptions : SupervisedOptions {};
+/// configuration) plus the crash-safety journal.
+struct StudyOptions : SupervisedOptions {
+  /// Run-journal knobs; `journal.path` empty keeps the all-in-memory study.
+  util::RunJournalOptions journal;
+};
 
 /// One Table 1 row.
 struct StudyRow {
@@ -82,9 +97,73 @@ StudyAverages averageRows(const std::vector<StudyRow>& rows);
 StudyRow runStep(const sim::StepSnapshot& snapshot,
                  const StudyOptions& options, long stepIndex = 0);
 
+/// Study-journal record types (namespaced 1..9) and their current schema
+/// versions. A resume refuses records of a known type with a newer version
+/// (see DESIGN.md, journal format policy).
+inline constexpr std::uint16_t kStudyMetaRecord = 1;
+inline constexpr std::uint16_t kStudyRowRecord = 2;
+inline constexpr std::uint16_t kStudyCursorRecord = 3;
+inline constexpr std::uint16_t kStudyMetaVersion = 1;
+inline constexpr std::uint16_t kStudyRowVersion = 1;
+inline constexpr std::uint16_t kStudyCursorVersion = 1;
+
+/// What a journaled runStudy() did — how much was replayed vs solved, and
+/// whether a torn tail was dropped or an interrupt stopped the run early.
+struct StudyResumeInfo {
+  std::size_t totalSteps = 0;
+  std::size_t replayedRows = 0;  ///< rows taken verbatim from the journal
+  std::size_t solvedRows = 0;    ///< rows solved (and journaled) this run
+  bool interrupted = false;      ///< SIGINT/SIGTERM stopped the run early
+  bool tailDropped = false;      ///< the journal had a torn/corrupt tail
+  std::string tailWarning;       ///< structured description of that tail
+};
+
+/// Deterministic fingerprint binding a journal to its study: the snapshot
+/// set and every option that influences row values. A resume against a
+/// journal with a different fingerprint fails structurally instead of
+/// silently mixing two studies.
+std::uint64_t studyFingerprint(const std::vector<sim::StepSnapshot>& snapshots,
+                               const StudyOptions& options);
+
+/// Serialization of one row (kStudyRowRecord payload). Exposed so tests can
+/// craft records; `readStudyRowPayload` throws analysis::AuditError (via
+/// util::JournalError conversion at the call site) on malformed payloads.
+void writeStudyRowPayload(const StudyRow& row, std::size_t index,
+                          util::PayloadWriter& out);
+/// Parses a row payload; throws util::JournalError on underrun and
+/// analysis::AuditError on out-of-range enum values.
+std::size_t readStudyRowPayload(util::PayloadReader& in, StudyRow& row);
+
+/// Canonical, deterministic text dump of a study (one line per row plus the
+/// averages), used by the kill-matrix to diff a resumed run against an
+/// uninterrupted reference. Wall-clock fields (solveSeconds) are excluded
+/// unless `includeTiming` — they are the only fields two otherwise
+/// identical runs may disagree on.
+std::string studyReportText(const std::vector<StudyRow>& rows,
+                            bool includeTiming = false);
+
 /// Runs every snapshot (optionally on `threads` workers) in input order.
+///
+/// With `options.journal` enabled: appends one record per finished row,
+/// checkpoints the cursor every `checkpointEvery` rows, installs the
+/// SIGINT/SIGTERM handler (interruption flushes and returns the contiguous
+/// finished prefix with `info->interrupted`), honours the deterministic
+/// `kill-at-step=N` fault by exiting the process (code
+/// util::kKillFaultExitCode) right after persisting row N, and — when
+/// `journal.resume` is set and the file exists — replays valid rows instead
+/// of re-solving them. `info` (optional) reports what happened.
 std::vector<StudyRow> runStudy(const std::vector<sim::StepSnapshot>& snapshots,
                                const StudyOptions& options,
-                               unsigned threads = 1);
+                               unsigned threads = 1,
+                               StudyResumeInfo* info = nullptr);
+
+/// Convenience entry point: resume (or start) a journaled study at
+/// `journalPath`. Identical to runStudy() with `options.journal.path =
+/// journalPath` and `options.journal.resume = true`.
+std::vector<StudyRow> resumeStudy(
+    const std::string& journalPath,
+    const std::vector<sim::StepSnapshot>& snapshots,
+    const StudyOptions& options, unsigned threads = 1,
+    StudyResumeInfo* info = nullptr);
 
 }  // namespace dynsched::tip

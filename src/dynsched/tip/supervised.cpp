@@ -25,6 +25,12 @@ const char* solveRungName(SolveRung rung) {
   return "?";
 }
 
+bool solveRungFromIndex(int index, SolveRung& rung) {
+  if (index < 0 || index >= kSolveRungs) return false;
+  rung = static_cast<SolveRung>(index);
+  return true;
+}
+
 namespace {
 
 /// Start order of a second-precision schedule (by start, submit, id).

@@ -63,6 +63,9 @@ inline constexpr int kSolveRungs = 4;
 const char* solveRungName(SolveRung rung);
 /// 0-based index for per-rung counters.
 inline int solveRungIndex(SolveRung rung) { return static_cast<int>(rung); }
+/// Inverse of solveRungIndex with a range check — journal deserialization
+/// must never materialize an out-of-range rung. False on unknown values.
+bool solveRungFromIndex(int index, SolveRung& rung);
 
 /// Outcome of one supervised step solve. `schedule` is always a feasible
 /// schedule for the step (the ladder guarantees it); everything else is

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/signals.hpp"
 #include "dynsched/util/strings.hpp"
 
 namespace dynsched::util {
@@ -17,8 +18,15 @@ const char* cancelReasonName(CancelReason reason) {
     case CancelReason::MemoryLimit: return "memory-limit";
     case CancelReason::Fault: return "fault";
     case CancelReason::External: return "external";
+    case CancelReason::Interrupted: return "interrupted";
   }
   return "?";
+}
+
+bool cancelReasonFromIndex(std::uint8_t index, CancelReason& reason) {
+  if (index >= static_cast<std::uint8_t>(kCancelReasons)) return false;
+  reason = static_cast<CancelReason>(index);
+  return true;
 }
 
 namespace {
@@ -66,12 +74,16 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       DYNSCHED_CHECK_MSG(!value.empty(),
                          "DYNSCHED_FAULTS: fail-at-step needs =N or =all");
       plan.failAtStep = parseFaultCount(kind, value, true);
+    } else if (kind == "kill-at-step") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: kill-at-step needs =N");
+      plan.killAtStep = parseFaultCount(kind, value, false);
     } else {
       DYNSCHED_CHECK_MSG(
           false, "DYNSCHED_FAULTS: unknown fault kind '"
                      << kind << "' (valid: deadline-now, oom-at-estimate, "
                                "lp-numerical-failure[=N], fail-at-node=N, "
-                               "fail-at-step=N|all)");
+                               "fail-at-step=N|all, kill-at-step=N)");
     }
   }
   return plan;
@@ -109,8 +121,13 @@ std::string FaultPlan::describe() const {
   }
   if (failAtStep == kEveryStep) {
     os << sep << "fail-at-step=all";
+    sep = ",";
   } else if (failAtStep >= 0) {
     os << sep << "fail-at-step=" << failAtStep;
+    sep = ",";
+  }
+  if (killAtStep >= 0) {
+    os << sep << "kill-at-step=" << killAtStep;
   }
   return os.str();
 }
@@ -142,6 +159,13 @@ void CancelToken::cancel(CancelReason reason) {
 }
 
 bool CancelToken::checkDeadline() {
+  // The process-wide interrupt flag rides on every deadline check: a Ctrl-C
+  // cancels the in-flight solve at the next poll point with no token
+  // registration machinery (the handler cannot know which tokens exist).
+  if (interruptRequested()) {
+    cancel(CancelReason::Interrupted);
+    return true;
+  }
   if (!hasDeadline_) return false;
   if (Clock::now() < deadline_) return false;
   cancel(CancelReason::Deadline);

@@ -32,7 +32,16 @@ enum class CancelReason : std::uint8_t {
   MemoryLimit,       ///< estimated instance memory exceeded the cap
   Fault,             ///< an injected fault cancelled the solve
   External,          ///< cancel() called by the owner
+  Interrupted,       ///< SIGINT/SIGTERM (or requestCancel) interrupted it
 };
+
+/// Number of CancelReason values (serialization range checks).
+inline constexpr int kCancelReasons = 8;
+
+/// Inverse of static_cast<uint8>(reason): validates the range so journal
+/// payloads written by a newer build cannot smuggle in an out-of-range
+/// enum. Returns false on an unknown value.
+bool cancelReasonFromIndex(std::uint8_t index, CancelReason& reason);
 
 const char* cancelReasonName(CancelReason reason);
 
@@ -58,6 +67,9 @@ struct SolveBudget {
 ///   lp-numerical-failure[=N]  the next N LP solves fail (bare kind: all)
 ///   fail-at-node=N            the LP of B&B node N fails
 ///   fail-at-step=N|all        self-tuning step N (0-based) throws
+///   kill-at-step=N            the journaled study exits the process (as if
+///                             SIGKILLed) right after persisting step N —
+///                             the kill-matrix primitive for resume tests
 ///
 /// All triggers are counters over solver events — never wall clock, never
 /// randomness — so a faulted run is bit-reproducible.
@@ -70,6 +82,7 @@ struct FaultPlan {
   long lpFailures = 0;         ///< > 0: next N solves; kAllSolves: every one
   bool deadlineNow = false;
   long failAtStep = -1;        ///< < 0 (except kEveryStep): off
+  long killAtStep = -1;        ///< < 0: off (process exit after journaling)
 
   /// Parses a DYNSCHED_FAULTS spec. Throws CheckError on unknown kinds or
   /// malformed values (a typo must not silently disable the matrix).
@@ -79,14 +92,22 @@ struct FaultPlan {
 
   bool any() const {
     return failAtNode >= 0 || oomAtEstimate || lpFailures != 0 ||
-           deadlineNow || failAtStep == kEveryStep || failAtStep >= 0;
+           deadlineNow || failAtStep == kEveryStep || failAtStep >= 0 ||
+           killAtStep >= 0;
   }
   bool failsStep(long step) const {
     return failAtStep == kEveryStep || (failAtStep >= 0 && failAtStep == step);
   }
+  bool killsAtStep(long step) const {
+    return killAtStep >= 0 && killAtStep == step;
+  }
   /// Human-readable plan, for provenance notes ("", when empty).
   std::string describe() const;
 };
+
+/// Exit code of the kill-at-step fault (mirrors a SIGKILLed process's
+/// 128+9) — the kill-matrix asserts on it.
+inline constexpr int kKillFaultExitCode = 137;
 
 /// Shared cooperative cancellation point. One token supervises one
 /// self-tuning step end to end: the initial solve and a coarsened retry
@@ -100,6 +121,11 @@ class CancelToken {
 
   /// External cancellation (e.g. a study shutting down its workers).
   void cancel(CancelReason reason);
+  /// The external-interrupt path: identical to cancel(), named for call
+  /// sites that relay a user interruption (the process-wide SIGINT/SIGTERM
+  /// flag from util/signals.hpp is additionally polled by every token, so a
+  /// handler does not need a token reference at all).
+  void requestCancel(CancelReason reason) { cancel(reason); }
   bool cancelled() const {
     return reason_.load(std::memory_order_relaxed) != CancelReason::None;
   }

@@ -1,0 +1,43 @@
+#include "dynsched/util/signals.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace dynsched::util {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the signal handler needs a lock-free flag");
+
+extern "C" void dynschedOnInterrupt(int /*signum*/) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void installInterruptHandlers() {
+  struct sigaction action {};
+  action.sa_handler = &dynschedOnInterrupt;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocked read should see EINTR and reach its poll point.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void requestInterrupt() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+bool interruptRequested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void clearInterrupt() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace dynsched::util

@@ -1,0 +1,28 @@
+// Cooperative interrupt handling for long runs.
+//
+// A SIGINT/SIGTERM must not lose hours of study: the handler installed here
+// only sets a process-wide lock-free flag, and every CancelToken polls that
+// flag alongside its deadline — so an interactive interruption degrades to
+// "current step cancels cooperatively, journal flushes, process exits
+// cleanly" instead of the default terminate-mid-write. Nothing here is
+// journal-specific; any loop can poll interruptRequested() directly.
+#pragma once
+
+namespace dynsched::util {
+
+/// Installs SIGINT and SIGTERM handlers that call requestInterrupt().
+/// Idempotent; safe to call from several subsystems.
+void installInterruptHandlers();
+
+/// Sets the process-wide interrupt flag. Async-signal-safe (one relaxed
+/// atomic store) — this is exactly what the signal handlers do. Tests use
+/// it to simulate a Ctrl-C deterministically.
+void requestInterrupt();
+
+/// Whether an interrupt has been requested and not yet cleared.
+bool interruptRequested();
+
+/// Clears the flag (after a run has honoured the interrupt, or in tests).
+void clearInterrupt();
+
+}  // namespace dynsched::util

@@ -10,6 +10,7 @@
 #include "dynsched/lp/simplex.hpp"
 #include "dynsched/util/budget.hpp"
 #include "dynsched/util/rng.hpp"
+#include "dynsched/util/signals.hpp"
 
 namespace dynsched::lp {
 namespace {
@@ -358,6 +359,41 @@ TEST(Simplex, CancelIterationBudgetBoundsPivots) {
   EXPECT_EQ(s.status, LpStatus::Cancelled);
   EXPECT_LE(s.iterations, 1);
   EXPECT_EQ(token.reason(), util::CancelReason::LpIterationLimit);
+}
+
+TEST(Simplex, ProcessInterruptCancelsWithInterruptedReason) {
+  // The SIGINT/SIGTERM flag rides on every token poll: a solve in flight
+  // when the user hits Ctrl-C stops as Cancelled/Interrupted, which the
+  // journaled study uses to discard the half-done row before flushing.
+  LpModel m;
+  const int a = m.addVariable(0, kInf, -3.0);
+  const int b = m.addVariable(0, kInf, -5.0);
+  m.addRow(-kInf, 4.0, {{a, 1.0}});
+  m.addRow(-kInf, 12.0, {{b, 2.0}});
+  m.addRow(-kInf, 18.0, {{a, 3.0}, {b, 2.0}});
+  util::requestInterrupt();
+  util::CancelToken token;
+  SimplexOptions opts;
+  opts.cancel = &token;
+  const LpSolution s = solveLp(m, opts);
+  util::clearInterrupt();
+  EXPECT_EQ(s.status, LpStatus::Cancelled);
+  EXPECT_EQ(token.reason(), util::CancelReason::Interrupted);
+}
+
+TEST(Simplex, RequestCancelStopsTheSolve) {
+  LpModel m;
+  const int a = m.addVariable(0, kInf, -3.0);
+  const int b = m.addVariable(0, kInf, -5.0);
+  m.addRow(-kInf, 4.0, {{a, 1.0}});
+  m.addRow(-kInf, 18.0, {{a, 3.0}, {b, 2.0}});
+  util::CancelToken token;
+  token.requestCancel(util::CancelReason::Interrupted);
+  SimplexOptions opts;
+  opts.cancel = &token;
+  const LpSolution s = solveLp(m, opts);
+  EXPECT_EQ(s.status, LpStatus::Cancelled);
+  EXPECT_EQ(token.reason(), util::CancelReason::Interrupted);
 }
 
 TEST(Simplex, InjectedNumericalFailureConsumesOneFault) {

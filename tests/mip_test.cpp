@@ -8,6 +8,7 @@
 
 #include "dynsched/mip/mip.hpp"
 #include "dynsched/util/rng.hpp"
+#include "dynsched/util/signals.hpp"
 
 namespace dynsched::mip {
 namespace {
@@ -343,6 +344,33 @@ TEST(Mip, NodeBudgetStopsTheSearch) {
   const MipResult r = solveMip(m, options);
   EXPECT_EQ(r.stopReason, util::CancelReason::NodeLimit);
   EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Mip, ProcessInterruptStopsWithInterruptedReason) {
+  // MipResult.stopReason must carry Interrupted end to end so a journaled
+  // study can tell a Ctrl-C'd row from a genuine budget hit.
+  const MipModel m = knapsack({10, 13, 7, 11}, {5, 6, 4, 5}, 10);
+  util::requestInterrupt();
+  util::CancelToken token;
+  MipOptions options;
+  options.cancel = &token;
+  const MipResult r = solveMip(m, options);
+  util::clearInterrupt();
+  EXPECT_EQ(r.stopReason, util::CancelReason::Interrupted);
+  EXPECT_TRUE(r.status == MipStatus::NoSolutionLimit ||
+              r.status == MipStatus::FeasibleLimit)
+      << mipStatusName(r.status);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Mip, MipStatusIndexRoundTrips) {
+  for (int i = 0; i < kMipStatuses; ++i) {
+    MipStatus status;
+    ASSERT_TRUE(mipStatusFromIndex(static_cast<std::uint8_t>(i), status));
+    EXPECT_EQ(static_cast<int>(status), i);
+  }
+  MipStatus status;
+  EXPECT_FALSE(mipStatusFromIndex(kMipStatuses, status));
 }
 
 TEST(Mip, CleanSolveLeavesNoMessage) {

@@ -1,5 +1,7 @@
 // MPS reader tests: semantics of each section, round-trip through the
 // writer (the fuzz oracle's invariant), and rejection of malformed input.
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -171,6 +173,37 @@ TEST(MpsReader, WriteParseWriteIsLossless) {
   EXPECT_EQ(t2, t1);
   const std::string t3 = normalize(readMps(t2));
   EXPECT_EQ(t3, t2);
+}
+
+TEST(MpsWriter, FileWriteIsAtomic) {
+  // writeMpsFile publishes via temp-file + rename: replacing an existing
+  // file either keeps the old content or installs the complete new one —
+  // never a torn prefix — and a failed write leaves no target and no stray
+  // temp file behind.
+  LpModel m;
+  const int x = m.addVariable(0, 4.0, 1.0, "x");
+  m.addRow(-kInf, 2.0, {{x, 1.0}}, "cap");
+
+  const std::string path = testing::TempDir() + "/atomic.mps";
+  {
+    std::ofstream prior(path, std::ios::trunc);
+    prior << "stale content that must be fully replaced";
+  }
+  writeMpsFile(m, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.rfind("ENDATA\n"), text.size() - 7);
+  EXPECT_EQ(text.find("stale"), std::string::npos);
+  // The round trip still parses.
+  EXPECT_EQ(readMps(text).model.numVariables(), m.numVariables());
+  std::remove(path.c_str());
+
+  const std::string bad = testing::TempDir() + "/no-such-dir/x.mps";
+  EXPECT_THROW(writeMpsFile(m, bad), CheckError);
+  std::ifstream probe(bad);
+  EXPECT_FALSE(probe.good());
 }
 
 TEST(MpsReader, BoundsMayIntroduceColumn) {

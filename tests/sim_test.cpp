@@ -1,10 +1,14 @@
 // Discrete-event RMS simulator tests: conservation, timing semantics,
 // early-completion replanning, policy switching, snapshot capture.
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/trace/filters.hpp"
 #include "dynsched/trace/synthetic.hpp"
@@ -368,6 +372,124 @@ TEST(Simulator, CleanRunReportsNoDegradation) {
   EXPECT_GT(report.tuningSteps, 0u);
   EXPECT_EQ(report.degradedSteps, 0u);
   EXPECT_EQ(report.summary(430).find("degraded="), std::string::npos);
+}
+
+// --- Crash-safety: checkpoints, torn journal, resume -----------------------
+
+std::string simJournalPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Deterministic fields of a report, for run-vs-resume comparison
+/// (wallSeconds and the resume bookkeeping are intentionally absent).
+std::string deterministicDigest(const SimulationReport& r) {
+  std::ostringstream os;
+  os << r.summary(430) << "\nreplans=" << r.replans
+     << " tuning=" << r.tuningSteps << " degraded=" << r.degradedSteps
+     << " snapshots=" << r.snapshots.size()
+     << " dynpSteps=" << r.dynpStats.steps
+     << " dynpSwitches=" << r.dynpStats.switches << "\n";
+  for (const CompletedJob& c : r.completed) {
+    os << c.job.id << ":" << c.start << "-" << c.end << "\n";
+  }
+  for (const PolicySwitch& s : r.switches) {
+    os << s.time << ":" << core::policyName(s.from) << ">"
+       << core::policyName(s.to) << "\n";
+  }
+  for (const StepSnapshot& snap : r.snapshots) {
+    os << "snap " << snap.time << " " << snap.waiting.size() << " "
+       << core::policyName(snap.bestPolicy) << " " << snap.bestValue << " "
+       << snap.maxPolicyMakespan << " " << snap.bestSchedule.size() << "\n";
+  }
+  return os.str();
+}
+
+SimOptions journaledDynP(const std::string& path) {
+  SimOptions options;
+  options.kind = SchedulerKind::DynP;
+  options.snapshots.enabled = true;
+  options.snapshots.minWaiting = 2;
+  options.journal.path = path;
+  options.journal.checkpointEvery = 8;
+  return options;
+}
+
+TEST(SimulatorJournal, JournaledRunMatchesPlainRun) {
+  const auto jobs = core::fromSwf(trace::ctcModel().generate(150, 41));
+  SimOptions plain = journaledDynP("");
+  RmsSimulator ref(core::Machine{430}, plain);
+  const auto reference = ref.run(jobs);
+
+  const std::string path = simJournalPath("sim-plain.jrnl");
+  std::remove(path.c_str());
+  RmsSimulator sim(core::Machine{430}, journaledDynP(path));
+  const auto journaled = sim.run(jobs);
+  EXPECT_EQ(deterministicDigest(journaled), deterministicDigest(reference));
+  EXPECT_FALSE(journaled.interrupted);
+  EXPECT_FALSE(journaled.resumed);
+  std::remove(path.c_str());
+}
+
+TEST(SimulatorJournal, TornJournalResumesFromLastCheckpoint) {
+  const auto jobs = core::fromSwf(trace::ctcModel().generate(150, 42));
+  SimOptions plain = journaledDynP("");
+  RmsSimulator ref(core::Machine{430}, plain);
+  const auto reference = ref.run(jobs);
+
+  const std::string path = simJournalPath("sim-torn.jrnl");
+  std::remove(path.c_str());
+  RmsSimulator sim(core::Machine{430}, journaledDynP(path));
+  sim.run(jobs);
+
+  // Simulate a crash: chop the journal mid-record, losing the final
+  // checkpoints. Resume must restart from the last surviving one and
+  // re-simulate to an identical end state.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 600u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  RmsSimulator again(core::Machine{430}, journaledDynP(""));
+  const auto resumed = again.resume(path, jobs);
+  EXPECT_TRUE(resumed.resumed || resumed.tailDropped);
+  EXPECT_EQ(deterministicDigest(resumed), deterministicDigest(reference));
+  std::remove(path.c_str());
+}
+
+TEST(SimulatorJournal, ResumeOfCompletedRunReplaysToTheEnd) {
+  const auto jobs = core::fromSwf(trace::ctcModel().generate(120, 43));
+  const std::string path = simJournalPath("sim-done.jrnl");
+  std::remove(path.c_str());
+  RmsSimulator sim(core::Machine{430}, journaledDynP(path));
+  const auto reference = sim.run(jobs);
+
+  RmsSimulator again(core::Machine{430}, journaledDynP(""));
+  const auto resumed = again.resume(path, jobs);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(deterministicDigest(resumed), deterministicDigest(reference));
+  std::remove(path.c_str());
+}
+
+TEST(SimulatorJournal, ForeignJournalFailsStructurally) {
+  const auto jobs = core::fromSwf(trace::ctcModel().generate(100, 44));
+  const std::string path = simJournalPath("sim-foreign.jrnl");
+  std::remove(path.c_str());
+  RmsSimulator sim(core::Machine{430}, journaledDynP(path));
+  sim.run(jobs);
+
+  // Same options, different trace → different fingerprint → refuse.
+  const auto other = core::fromSwf(trace::ctcModel().generate(100, 45));
+  RmsSimulator again(core::Machine{430}, journaledDynP(""));
+  EXPECT_THROW(again.resume(path, other), analysis::AuditError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

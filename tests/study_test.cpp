@@ -4,6 +4,11 @@
 // describes.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "dynsched/analysis/audit.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/exact.hpp"
 #include "dynsched/tip/study.hpp"
@@ -142,6 +147,229 @@ TEST(Study, AveragesOfEmptyStudyAreZero) {
   const StudyAverages avg = averageRows({});
   EXPECT_EQ(avg.rows, 0u);
   EXPECT_EQ(avg.quality, 0.0);
+}
+
+// --- Crash-safety: journal, kill-at-step, resume ---------------------------
+
+std::string journalPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Byte-identity tests (resume must reproduce the reference exactly) need
+// deterministic solves: a wall-clock limit stops at a timing-dependent node
+// (flaky under sanitizer slowdown), a node cap always stops at the same
+// tree state.
+StudyOptions deterministicOptions() {
+  StudyOptions options = fastOptions();
+  options.mip.timeLimitSeconds = 900;
+  options.mip.maxNodes = 300;
+  return options;
+}
+
+TEST(StudyJournal, RowPayloadRoundTripsEveryField) {
+  StudyRow row;
+  row.submissionTime = 12345;
+  row.jobs = 7;
+  row.makespan = 999;
+  row.accRuntime = 4242;
+  row.timeScale = 60;
+  row.bestPolicy = core::PolicyKind::Ljf;
+  row.policyValue = 1.5;
+  row.ilpValue = 1.25;
+  row.quality = 0.8333;
+  row.perfLossPct = 16.67;
+  row.solveSeconds = 0.125;
+  row.status = mip::MipStatus::FeasibleLimit;
+  row.gap = 0.01;
+  row.nodes = 4096;
+  row.lpColumns = 321;
+  row.lpRows = 123;
+  row.rung = SolveRung::CoarsenedRetry;
+  row.stopReason = util::CancelReason::NodeLimit;
+  row.provenance = "rung=coarsened-retry reason=node-limit";
+
+  util::PayloadWriter w;
+  writeStudyRowPayload(row, 5, w);
+  util::PayloadReader r(w.bytes());
+  StudyRow back;
+  EXPECT_EQ(readStudyRowPayload(r, back), 5u);
+  EXPECT_TRUE(r.atEnd());
+  EXPECT_EQ(back.submissionTime, row.submissionTime);
+  EXPECT_EQ(back.jobs, row.jobs);
+  EXPECT_EQ(back.makespan, row.makespan);
+  EXPECT_EQ(back.accRuntime, row.accRuntime);
+  EXPECT_EQ(back.timeScale, row.timeScale);
+  EXPECT_EQ(back.bestPolicy, row.bestPolicy);
+  EXPECT_DOUBLE_EQ(back.policyValue, row.policyValue);
+  EXPECT_DOUBLE_EQ(back.ilpValue, row.ilpValue);
+  EXPECT_DOUBLE_EQ(back.quality, row.quality);
+  EXPECT_DOUBLE_EQ(back.perfLossPct, row.perfLossPct);
+  EXPECT_DOUBLE_EQ(back.solveSeconds, row.solveSeconds);
+  EXPECT_EQ(back.status, row.status);
+  EXPECT_DOUBLE_EQ(back.gap, row.gap);
+  EXPECT_EQ(back.nodes, row.nodes);
+  EXPECT_EQ(back.lpColumns, row.lpColumns);
+  EXPECT_EQ(back.lpRows, row.lpRows);
+  EXPECT_EQ(back.rung, row.rung);
+  EXPECT_EQ(back.stopReason, row.stopReason);
+  EXPECT_EQ(back.provenance, row.provenance);
+}
+
+TEST(StudyJournal, JournaledRunMatchesPlainAndResumeReplaysAll) {
+  const auto snapshots = captureSnapshots(250, 3, 83);
+  ASSERT_GE(snapshots.size(), 2u);
+  const StudyOptions plainOptions = deterministicOptions();
+  const auto reference = runStudy(snapshots, plainOptions, 1);
+  const std::string refText = studyReportText(reference);
+
+  StudyOptions journaled = deterministicOptions();
+  journaled.journal.path = journalPath("study-plain.jrnl");
+  journaled.journal.checkpointEvery = 1;
+  std::remove(journaled.journal.path.c_str());
+  StudyResumeInfo info;
+  const auto rows = runStudy(snapshots, journaled, 1, &info);
+  EXPECT_EQ(studyReportText(rows), refText);
+  EXPECT_EQ(info.solvedRows, snapshots.size());
+  EXPECT_EQ(info.replayedRows, 0u);
+  EXPECT_FALSE(info.interrupted);
+
+  // Resuming a completed journal re-solves nothing.
+  StudyResumeInfo resumeInfo;
+  const auto resumed = resumeStudy(journaled.journal.path, snapshots,
+                                   plainOptions, 1, &resumeInfo);
+  EXPECT_EQ(studyReportText(resumed), refText);
+  EXPECT_EQ(resumeInfo.replayedRows, snapshots.size());
+  EXPECT_EQ(resumeInfo.solvedRows, 0u);
+  std::remove(journaled.journal.path.c_str());
+}
+
+TEST(StudyJournal, ParallelJournaledMatchesSerial) {
+  const auto snapshots = captureSnapshots(250, 4, 84);
+  ASSERT_GE(snapshots.size(), 2u);
+  StudyOptions serialOpt = deterministicOptions();
+  serialOpt.journal.path = journalPath("study-serial.jrnl");
+  std::remove(serialOpt.journal.path.c_str());
+  const auto serial = runStudy(snapshots, serialOpt, 1);
+
+  StudyOptions parallelOpt = deterministicOptions();
+  parallelOpt.journal.path = journalPath("study-parallel.jrnl");
+  std::remove(parallelOpt.journal.path.c_str());
+  const auto parallel = runStudy(snapshots, parallelOpt, 2);
+
+  EXPECT_EQ(studyReportText(parallel), studyReportText(serial));
+  // Rows land in the journal in completion order, each tagged with its
+  // index — a resume must reassemble input order regardless.
+  StudyResumeInfo info;
+  const auto resumed = resumeStudy(parallelOpt.journal.path, snapshots,
+                                   deterministicOptions(), 1, &info);
+  EXPECT_EQ(studyReportText(resumed), studyReportText(serial));
+  EXPECT_EQ(info.replayedRows, snapshots.size());
+  std::remove(serialOpt.journal.path.c_str());
+  std::remove(parallelOpt.journal.path.c_str());
+}
+
+TEST(StudyJournalDeathTest, KillAtStepExitsAfterPersistingTheRow) {
+  const auto snapshots = captureSnapshots(250, 3, 85);
+  ASSERT_GE(snapshots.size(), 2u);
+  const auto reference = runStudy(snapshots, deterministicOptions(), 1);
+  const std::string refText = studyReportText(reference);
+
+  StudyOptions options = deterministicOptions();
+  options.journal.path = journalPath("study-kill.jrnl");
+  options.journal.checkpointEvery = 1;
+  std::remove(options.journal.path.c_str());
+  options.faults = util::FaultPlan::parse("kill-at-step=1");
+
+  // The fault must kill the process (like SIGKILL would) right after row 1
+  // hits the journal — the death-test child takes the hit for us.
+  EXPECT_EXIT(runStudy(snapshots, options, 1),
+              testing::ExitedWithCode(util::kKillFaultExitCode), "");
+
+  // The journal the dead child left behind holds rows 0..1; resume re-solves
+  // only the rest and reproduces the uninterrupted reference bit for bit.
+  StudyResumeInfo info;
+  const auto resumed = resumeStudy(options.journal.path, snapshots,
+                                   deterministicOptions(), 1, &info);
+  EXPECT_EQ(studyReportText(resumed), refText);
+  EXPECT_EQ(info.replayedRows, 2u);
+  EXPECT_EQ(info.solvedRows, snapshots.size() - 2);
+  std::remove(options.journal.path.c_str());
+}
+
+TEST(StudyJournal, TornTailIsReSolvedOnResume) {
+  const auto snapshots = captureSnapshots(250, 3, 86);
+  ASSERT_GE(snapshots.size(), 2u);
+  StudyOptions options = deterministicOptions();
+  options.journal.path = journalPath("study-torn.jrnl");
+  std::remove(options.journal.path.c_str());
+  const auto reference = runStudy(snapshots, options, 1);
+  const std::string refText = studyReportText(reference);
+
+  // Tear the file mid-record, as a crash inside write(2) would.
+  std::string bytes;
+  {
+    std::ifstream in(options.journal.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Keep the header + meta record (the first ~44 bytes) but lose at least
+  // the last row record — a 5-byte nick would only tear the trailing cursor.
+  ASSERT_GT(bytes.size(), 120u);
+  {
+    std::ofstream out(options.journal.path,
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  StudyResumeInfo info;
+  const auto resumed = resumeStudy(options.journal.path, snapshots,
+                                   deterministicOptions(), 1, &info);
+  EXPECT_TRUE(info.tailDropped);
+  EXPECT_FALSE(info.tailWarning.empty());
+  EXPECT_EQ(studyReportText(resumed), refText);
+  EXPECT_GT(info.solvedRows, 0u);  // the torn rows were re-solved
+  std::remove(options.journal.path.c_str());
+}
+
+TEST(StudyJournal, FingerprintMismatchFailsStructurally) {
+  const auto snapshots = captureSnapshots(250, 2, 87);
+  ASSERT_FALSE(snapshots.empty());
+  StudyOptions options = fastOptions();
+  options.journal.path = journalPath("study-mismatch.jrnl");
+  std::remove(options.journal.path.c_str());
+  runStudy(snapshots, options, 1);
+
+  StudyOptions different = fastOptions();
+  different.forcedTimeScale = 120;  // changes row values → new fingerprint
+  EXPECT_THROW(
+      resumeStudy(options.journal.path, snapshots, different, 1),
+      analysis::AuditError);
+  std::remove(options.journal.path.c_str());
+}
+
+TEST(StudyJournal, FutureRecordVersionFailsStructurally) {
+  const auto snapshots = captureSnapshots(250, 2, 88);
+  ASSERT_FALSE(snapshots.empty());
+  StudyOptions options = fastOptions();
+  options.journal.path = journalPath("study-future.jrnl");
+  std::remove(options.journal.path.c_str());
+  runStudy(snapshots, options, 1);
+
+  // A build from the future appends a row record with a newer schema
+  // version; this build must refuse to misparse it.
+  {
+    const util::JournalReadResult read =
+        util::readJournal(options.journal.path);
+    util::JournalWriter w =
+        util::JournalWriter::append(options.journal.path, read);
+    util::PayloadWriter p;
+    p.u64(0);
+    w.write(kStudyRowRecord, 99, p);
+  }
+  EXPECT_THROW(
+      resumeStudy(options.journal.path, snapshots, fastOptions(), 1),
+      analysis::AuditError);
+  std::remove(options.journal.path.c_str());
 }
 
 }  // namespace
