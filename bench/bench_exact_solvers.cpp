@@ -11,6 +11,8 @@
 #include <array>
 #include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <thread>
 
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/order_bnb.hpp"
@@ -18,11 +20,35 @@
 #include "dynsched/tip/supervised.hpp"
 #include "dynsched/trace/synthetic.hpp"
 #include "dynsched/util/flags.hpp"
+#include "dynsched/util/journal.hpp"
 #include "dynsched/util/strings.hpp"
 #include "dynsched/util/table.hpp"
 #include "dynsched/util/timer.hpp"
 
 using namespace dynsched;
+
+namespace {
+
+/// One solved step, kept for the machine-readable report. Node and LP-size
+/// counters are deterministic for a fixed workload and node budget — they
+/// are the cross-host regression signal; the seconds only mean something on
+/// a matching host (see scripts/bench_check.py).
+struct StepRecord {
+  Time time = 0;
+  std::size_t jobs = 0;
+  double policySld = 0;
+  double ilpSld = 0;
+  double exactSld = 0;
+  long ilpNodes = 0;
+  int lpRows = 0;
+  int lpColumns = 0;
+  long exactNodes = 0;
+  bool exactOptimal = false;
+  double ilpSeconds = 0;
+  double exactSeconds = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::FlagSet flags("bench_exact_solvers");
@@ -31,6 +57,12 @@ int main(int argc, char** argv) {
   auto& steps = flags.addInt("steps", 6, "steps to solve");
   auto& timeLimit =
       flags.addDouble("time-limit", 15.0, "limit per solver per step [s]");
+  auto& maxNodes = flags.addInt(
+      "max-nodes", 0,
+      "cap B&B nodes per solver per step (0 = solver defaults); with a node "
+      "cap and a generous --time-limit the run is deterministic");
+  auto& jsonPath = flags.addString(
+      "json", "", "write a machine-readable report to this file");
   if (!flags.parse(argc, argv)) return 0;
 
   const auto swf = trace::ctcModel().generate(
@@ -63,17 +95,20 @@ int main(int argc, char** argv) {
   std::size_t rows = 0;
   std::array<std::size_t, tip::kSolveRungs> rungCounts{};
   std::size_t budgetHits = 0;
+  std::vector<StepRecord> records;
   for (const auto& snap : selected) {
     // The paper's pipeline: Eq. 6 scaled ILP + compaction.
     tip::StudyOptions study;
     study.scaling.totalMemoryBytes = 256ULL << 20;
     study.mip.timeLimitSeconds = timeLimit;
+    if (maxNodes > 0) study.mip.maxNodes = static_cast<long>(maxNodes);
     const tip::StudyRow row = tip::runStep(snap, study);
 
     // Second-precision optimum via the order B&B.
     tip::TipInstance inst = tip::makeInstance(snap, study);
     tip::OrderBnbOptions orderOptions;
     orderOptions.timeLimitSeconds = timeLimit;
+    if (maxNodes > 0) orderOptions.maxNodes = static_cast<long>(maxNodes);
     const tip::OrderBnbResult exact = tip::solveByOrderBnb(inst, orderOptions);
     const core::MetricEvaluator evaluator(inst.now,
                                           inst.history.machineSize());
@@ -107,6 +142,21 @@ int main(int argc, char** argv) {
     cells.push_back(exact.optimal ? "yes" : "no (limit)");
     cells.push_back(tip::solveRungName(row.rung));
     table.addRow(std::move(cells));
+
+    StepRecord record;
+    record.time = snap.time;
+    record.jobs = row.jobs;
+    record.policySld = row.policyValue;
+    record.ilpSld = row.ilpValue;
+    record.exactSld = exactSld;
+    record.ilpNodes = row.nodes;
+    record.lpRows = row.lpRows;
+    record.lpColumns = row.lpColumns;
+    record.exactNodes = exact.nodes;
+    record.exactOptimal = exact.optimal;
+    record.ilpSeconds = row.solveSeconds;
+    record.exactSeconds = exact.seconds;
+    records.push_back(record);
   }
   std::cout << table.render();
   if (rows > 0) {
@@ -122,6 +172,70 @@ int main(int argc, char** argv) {
         rungCounts[0], rungCounts[1], rungCounts[2], rungCounts[3], budgetHits,
         rows, 100.0 * static_cast<double>(budgetHits) /
                   static_cast<double>(rows));
+  }
+
+  if (!jsonPath.empty()) {
+    // The baseline comparator (scripts/bench_check.py) reads this. Totals
+    // carry the regression gate; per-step rows are for diagnosing which
+    // instance moved. The host block scopes the wall-clock comparison.
+    long ilpNodes = 0, exactNodes = 0, lpRowsTotal = 0, lpColsTotal = 0;
+    double ilpSeconds = 0, exactSeconds = 0;
+    for (const StepRecord& r : records) {
+      ilpNodes += r.ilpNodes;
+      exactNodes += r.exactNodes;
+      lpRowsTotal += r.lpRows;
+      lpColsTotal += r.lpColumns;
+      ilpSeconds += r.ilpSeconds;
+      exactSeconds += r.exactSeconds;
+    }
+    const auto num = [](double v) {
+      char out[64];
+      std::snprintf(out, sizeof(out), "%.10g", v);
+      return std::string(out);
+    };
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_exact_solvers\",\n  \"config\": {"
+         << "\"traceJobs\": " << traceJobs << ", \"seed\": " << seed
+         << ", \"steps\": " << steps << ", \"maxNodes\": " << maxNodes
+         << ", \"timeLimitSeconds\": " << num(timeLimit) << "},\n"
+         << "  \"host\": {\"cpus\": " << std::thread::hardware_concurrency()
+         << ", \"compiler\": \"" << __VERSION__ << "\"},\n"
+         << "  \"steps\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const StepRecord& r = records[i];
+      json << (i > 0 ? "," : "") << "\n    {\"time\": " << r.time
+           << ", \"jobs\": " << r.jobs
+           << ", \"policySld\": " << num(r.policySld)
+           << ", \"ilpSld\": " << num(r.ilpSld)
+           << ", \"exactSld\": " << num(r.exactSld)
+           << ", \"ilpNodes\": " << r.ilpNodes
+           << ", \"lpRows\": " << r.lpRows
+           << ", \"lpColumns\": " << r.lpColumns
+           << ", \"exactNodes\": " << r.exactNodes
+           << ", \"exactOptimal\": " << (r.exactOptimal ? "true" : "false")
+           << ", \"ilpSeconds\": " << num(r.ilpSeconds)
+           << ", \"exactSeconds\": " << num(r.exactSeconds) << "}";
+    }
+    json << "\n  ],\n  \"totals\": {"
+         << "\"steps\": " << records.size()
+         << ", \"ilpNodes\": " << ilpNodes
+         << ", \"exactNodes\": " << exactNodes
+         << ", \"lpRows\": " << lpRowsTotal
+         << ", \"lpColumns\": " << lpColsTotal
+         << ", \"avgScaledLossPct\": "
+         << num(rows > 0 ? sumScaled / static_cast<double>(rows) : 0)
+         << ", \"avgTrueLossPct\": "
+         << num(rows > 0 ? sumTrue / static_cast<double>(rows) : 0)
+         << ", \"ilpSeconds\": " << num(ilpSeconds)
+         << ", \"exactSeconds\": " << num(exactSeconds) << "}\n}\n";
+    try {
+      util::atomicWriteFile(jsonPath, json.str());
+    } catch (const util::JournalError& e) {
+      std::fprintf(stderr, "cannot write %s: %s\n", jsonPath.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("json report: %s\n", jsonPath.c_str());
   }
   return 0;
 }

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_exact_solvers JSON report against the committed
+baseline (BENCH_exact.json) and fail on regressions.
+
+Usage: bench_check.py BASELINE CURRENT [--tolerance 0.20]
+                                       [--time-tolerance 0.50]
+
+What is gated, and why:
+  * Deterministic counters (total B&B nodes for the scaled ILP and the order
+    B&B, LP rows/columns) must not grow by more than --tolerance relative to
+    the baseline. For a pinned scenario and node cap these are
+    bit-reproducible on every host, so any growth is a real algorithmic
+    regression, not noise. Shrinking is reported as an improvement (rerun
+    the baseline to bank it), never failed.
+  * Solution quality (avgScaledLossPct / avgTrueLossPct) must match to a
+    tight tolerance — the counters moving is suspicious, the answer moving
+    is wrong.
+  * Wall-clock seconds are compared only when the host block (cpu count +
+    compiler) matches the baseline's, with the looser --time-tolerance;
+    cross-host timing comparisons are meaningless and are skipped loudly.
+
+The two reports must come from the same pinned scenario (config block);
+comparing different scenarios is a usage error (exit 2), not a pass.
+
+Exit codes: 0 ok, 1 regression, 2 usage/config mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+COUNTERS = ("ilpNodes", "exactNodes", "lpRows", "lpColumns")
+VALUES = ("avgScaledLossPct", "avgTrueLossPct")
+SECONDS = ("ilpSeconds", "exactSeconds")
+VALUE_TOLERANCE = 1e-4  # quality values are deterministic; allow fp dust
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"bench_check: cannot read {path}: {error}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bench_exact_solvers baseline regression gate")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative counter growth (default 0.20)")
+    parser.add_argument("--time-tolerance", type=float, default=0.50,
+                        help="allowed relative wall-clock growth on a "
+                             "matching host (default 0.50)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base.get("config") != cur.get("config"):
+        print(f"bench_check: config mismatch — baseline {base.get('config')}"
+              f" vs current {cur.get('config')}; rerun the bench with the"
+              " baseline's pinned scenario", file=sys.stderr)
+        return 2
+
+    base_totals = base.get("totals", {})
+    cur_totals = cur.get("totals", {})
+    failures = []
+    notes = []
+
+    if base_totals.get("steps") != cur_totals.get("steps"):
+        failures.append(
+            f"steps solved changed: {base_totals.get('steps')} -> "
+            f"{cur_totals.get('steps')}")
+
+    for key in COUNTERS:
+        old, new = base_totals.get(key), cur_totals.get(key)
+        if old is None or new is None:
+            failures.append(f"{key}: missing from report")
+            continue
+        if old == 0:
+            if new != 0:
+                failures.append(f"{key}: baseline 0, current {new}")
+            continue
+        rel = (new - old) / old
+        line = f"{key}: {old} -> {new} ({rel:+.1%})"
+        if rel > args.tolerance:
+            failures.append(line + f" exceeds +{args.tolerance:.0%}")
+        elif rel < -args.tolerance:
+            notes.append(line + " — improvement; rerun scripts/check.sh "
+                                "--rebaseline-bench to bank it")
+        else:
+            notes.append(line)
+
+    for key in VALUES:
+        old, new = base_totals.get(key), cur_totals.get(key)
+        if old is None or new is None:
+            failures.append(f"{key}: missing from report")
+            continue
+        if abs(new - old) > VALUE_TOLERANCE * max(1.0, abs(old)):
+            failures.append(f"{key}: {old} -> {new} — solution quality moved")
+        else:
+            notes.append(f"{key}: {old} -> {new}")
+
+    if base.get("host") == cur.get("host"):
+        for key in SECONDS:
+            old, new = base_totals.get(key), cur_totals.get(key)
+            if not old or new is None:
+                continue
+            rel = (new - old) / old
+            line = f"{key}: {old:.2f}s -> {new:.2f}s ({rel:+.1%})"
+            if rel > args.time_tolerance:
+                failures.append(line + f" exceeds +{args.time_tolerance:.0%}")
+            else:
+                notes.append(line)
+    else:
+        notes.append(f"host differs ({base.get('host')} vs {cur.get('host')})"
+                     " — wall-clock comparison skipped, counters still gate")
+
+    for note in notes:
+        print(f"bench_check: {note}")
+    for failure in failures:
+        print(f"bench_check: FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("bench_check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Correctness driver: runs the full ctest suite under ASan/UBSan and TSan
 # with the schedule audit enabled, builds src/ under the curated .clang-tidy
-# gate, and fuzzes the parser harnesses for a fixed 30-second budget each.
-# Exits non-zero on any failure; missing required tools fail fast instead of
-# silently skipping a gate.
+# gate and under Clang's -Wthread-safety capability analysis, runs the
+# dynsched-lint project-rule linter, fuzzes the parser harnesses for a fixed
+# 30-second budget each, and replays the pinned bench_exact_solvers scenario
+# against the committed BENCH_exact.json baseline. Exits non-zero on any
+# failure; missing required tools fail fast instead of silently skipping a
+# gate.
 #
-# Usage: scripts/check.sh [--jobs N] [--skip asan|tsan|tidy|fuzz|faults|kill]...
+# Usage: scripts/check.sh [--jobs N] [--rebaseline-bench]
+#          [--skip asan|tsan|tidy|wsafety|lint|fuzz|faults|kill|bench]...
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,10 +17,12 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FUZZ_SECONDS=30
 SKIP=""
+REBASELINE_BENCH=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) JOBS="$2"; shift 2 ;;
     --skip) SKIP="$SKIP $2"; shift 2 ;;
+    --rebaseline-bench) REBASELINE_BENCH=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -29,6 +35,12 @@ if ! skip tidy && ! command -v clang-tidy > /dev/null 2>&1; then
   echo "check.sh: clang-tidy not found but the tidy gate is enabled." >&2
   echo "  install it (e.g. 'apt-get install clang-tidy') or pass" >&2
   echo "  '--skip tidy' to opt out explicitly." >&2
+  exit 2
+fi
+if ! skip wsafety && ! command -v clang++ > /dev/null 2>&1; then
+  echo "check.sh: clang++ not found but the -Wthread-safety gate is" >&2
+  echo "  enabled (the capability annotations only mean something to" >&2
+  echo "  Clang). Install clang or pass '--skip wsafety' explicitly." >&2
   exit 2
 fi
 
@@ -51,6 +63,21 @@ run_mode() {
 }
 
 FAILED=""
+
+if ! skip lint; then
+  # dynsched-lint first: it is the cheapest gate and its findings (a raw
+  # std::mutex, an unguarded write) usually explain later failures. The
+  # linter deliberately links nothing from src/, so this builds even when
+  # the tree under scan does not.
+  echo "=== [lint] dynsched-lint over src/ and tools/ ==="
+  cmake -B build-plain -S . -DDYNSCHED_WERROR=ON > build-plain.cmake.log 2>&1 \
+    || { cat build-plain.cmake.log; FAILED="$FAILED lint"; }
+  if [[ " $FAILED " != *" lint "* ]]; then
+    cmake --build build-plain -j "$JOBS" --target dynsched_lint \
+      && build-plain/tools/dynsched_lint src tools \
+      || FAILED="$FAILED lint"
+  fi
+fi
 
 if ! skip asan; then
   run_mode asan -DDYNSCHED_SANITIZE="address,undefined" || FAILED="$FAILED asan"
@@ -151,6 +178,15 @@ if ! skip kill; then
   fi
 fi
 
+if ! skip wsafety; then
+  # Clang Thread Safety Analysis over the whole tree, warnings as errors:
+  # every DYNSCHED_GUARDED_BY field, REQUIRES contract, and MutexLock scope
+  # is checked statically. Runs the test suite too — the annotations are
+  # compiled under a second toolchain, which has caught portability slips.
+  run_mode wsafety -DCMAKE_CXX_COMPILER=clang++ -DDYNSCHED_THREAD_SAFETY=ON \
+    || FAILED="$FAILED wsafety"
+fi
+
 if ! skip tidy; then
   # The analysis gate only needs the library targets; --warnings-as-errors
   # inside DYNSCHED_ANALYZE fails the build on any finding in src/.
@@ -187,6 +223,37 @@ if ! skip fuzz; then
       "build-fuzz/fuzz/fuzz_$harness" -max_total_time="$FUZZ_SECONDS" \
           -seed=1 "fuzz/corpus/$harness" || { FAILED="$FAILED fuzz"; break; }
     done
+  fi
+fi
+
+if ! skip bench; then
+  # Performance baseline: replay the pinned bench_exact_solvers scenario
+  # (node-limited, hence deterministic — same rationale as the kill matrix)
+  # and gate its counters against the committed BENCH_exact.json. Counters
+  # are host-independent; wall-clock only gates on a matching host. The
+  # scenario here must match the baseline's config block exactly.
+  BENCH_SCENARIO=(--trace-jobs 700 --seed 44 --steps 3 --max-nodes 600
+                  --time-limit 1000000)
+  echo "=== [bench] bench_exact_solvers baseline ==="
+  cmake -B build-plain -S . -DDYNSCHED_WERROR=ON > build-plain.cmake.log 2>&1 \
+    || { cat build-plain.cmake.log; FAILED="$FAILED bench"; }
+  if [[ " $FAILED " != *" bench "* ]]; then
+    cmake --build build-plain -j "$JOBS" --target bench_exact_solvers \
+      || FAILED="$FAILED bench"
+  fi
+  if [[ " $FAILED " != *" bench "* ]]; then
+    if build-plain/bench/bench_exact_solvers "${BENCH_SCENARIO[@]}" \
+        --json build-plain/BENCH_exact.current.json > /dev/null; then
+      if [[ "$REBASELINE_BENCH" -eq 1 ]]; then
+        cp build-plain/BENCH_exact.current.json BENCH_exact.json
+        echo "bench: BENCH_exact.json rebaselined; review and commit it"
+      else
+        python3 scripts/bench_check.py BENCH_exact.json \
+            build-plain/BENCH_exact.current.json || FAILED="$FAILED bench"
+      fi
+    else
+      FAILED="$FAILED bench"
+    fi
   fi
 fi
 

@@ -4,13 +4,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
-#include <mutex>
 #include <sstream>
 
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
+#include "dynsched/util/mutex.hpp"
 #include "dynsched/util/signals.hpp"
+#include "dynsched/util/thread_annotations.hpp"
 #include "dynsched/util/thread_pool.hpp"
 
 namespace dynsched::tip {
@@ -155,6 +156,12 @@ namespace {
 /// decides what still needs solving. All journal I/O errors surface as
 /// analysis::AuditError — the structured "this run cannot be trusted"
 /// signal the study layer already uses.
+///
+/// `mutex_` guards everything the parallel row loop shares: the row/solved
+/// arrays, the journal writer (JournalWriter is thread-compatible, not
+/// thread-safe), and the resume counters. The constructor takes the lock
+/// explicitly even though no workers exist yet, so replay()/writeCursor()
+/// carry one uniform DYNSCHED_REQUIRES contract.
 class StudyJournal {
  public:
   StudyJournal(const std::vector<sim::StepSnapshot>& snapshots,
@@ -164,6 +171,7 @@ class StudyJournal {
         rows_(snapshots.size()),
         solved_(snapshots.size(), false),
         info_(info) {
+    const util::MutexLock lock(mutex_);
     info_.totalSteps = snapshots.size();
     const bool haveFile = [&] {
       std::ifstream probe(options_.path);
@@ -196,18 +204,37 @@ class StudyJournal {
 
   // Locked: vector<bool> packs bits, so even disjoint indexes share words
   // with commit()'s writes when workers probe their steps concurrently.
-  bool solved(std::size_t index) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  bool solved(std::size_t index) const DYNSCHED_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     return solved_[index];
   }
-  std::vector<StudyRow>& rows() { return rows_; }
+
+  /// Moves the finished row array out. Only valid once every worker has
+  /// been joined — the -Wthread-safety pass flagged the previous unlocked
+  /// rows() accessor; handing the storage over under the lock keeps the
+  /// guarantee structural instead of call-site folklore.
+  std::vector<StudyRow> takeRows() DYNSCHED_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    return std::move(rows_);
+  }
+
+  /// Copies the contiguous prefix of finished rows (the interrupt path's
+  /// partial result) in one locked pass.
+  std::vector<StudyRow> finishedPrefix() const DYNSCHED_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    std::vector<StudyRow> prefix;
+    for (std::size_t i = 0; i < rows_.size() && solved_[i]; ++i) {
+      prefix.push_back(rows_[i]);
+    }
+    return prefix;
+  }
 
   /// Appends one finished row (thread-safe) and fires the kill-at-step
   /// fault after it is durably framed — the deterministic stand-in for
   /// SIGKILL in the kill matrix.
   void commit(std::size_t index, const StudyRow& row,
-              const util::FaultPlan& faults) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+              const util::FaultPlan& faults) DYNSCHED_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     rows_[index] = row;
     solved_[index] = true;
     ++info_.solvedRows;
@@ -227,14 +254,14 @@ class StudyJournal {
     }
   }
 
-  void finish() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void finish() DYNSCHED_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     writeCursor();
     writer_->flush();
   }
 
  private:
-  void writeCursor() {
+  void writeCursor() DYNSCHED_REQUIRES(mutex_) {
     util::PayloadWriter cursor;
     cursor.u64(written_);
     std::size_t next = rows_.size();
@@ -248,7 +275,7 @@ class StudyJournal {
     writer_->write(kStudyCursorRecord, kStudyCursorVersion, cursor);
   }
 
-  void replay() {
+  void replay() DYNSCHED_REQUIRES(mutex_) {
     util::JournalReadResult read;
     try {
       read = util::readJournal(options_.path);
@@ -319,12 +346,14 @@ class StudyJournal {
 
   util::RunJournalOptions options_;
   std::uint64_t fingerprint_ = 0;
-  std::vector<StudyRow> rows_;
-  std::vector<bool> solved_;
+  mutable util::Mutex mutex_;
+  std::vector<StudyRow> rows_ DYNSCHED_GUARDED_BY(mutex_);
+  std::vector<bool> solved_ DYNSCHED_GUARDED_BY(mutex_);
+  // External resume counters; commit()/replay() mutate them under mutex_,
+  // the owner only reads them after the worker pool has been joined.
   StudyResumeInfo& info_;
-  std::optional<util::JournalWriter> writer_;
-  mutable std::mutex mutex_;
-  std::uint64_t written_ = 0;
+  std::optional<util::JournalWriter> writer_ DYNSCHED_GUARDED_BY(mutex_);
+  std::uint64_t written_ DYNSCHED_GUARDED_BY(mutex_) = 0;
 };
 
 std::vector<StudyRow> runStudyJournaled(
@@ -362,19 +391,14 @@ std::vector<StudyRow> runStudyJournaled(
   if (util::interruptRequested()) {
     info.interrupted = true;
     util::clearInterrupt();
-    // Hand back the contiguous finished prefix; later rows (already safe in
-    // the journal, if any) reappear on resume.
-    std::vector<StudyRow> prefix;
-    for (std::size_t i = 0;
-         i < snapshots.size() && journal.solved(i); ++i) {
-      prefix.push_back(journal.rows()[i]);
-    }
     DYNSCHED_LOG(Warn) << "study interrupted after " << info.solvedRows
                        << " newly solved rows; journal flushed — resume to "
                           "continue";
-    return prefix;
+    // Hand back the contiguous finished prefix; later rows (already safe in
+    // the journal, if any) reappear on resume.
+    return journal.finishedPrefix();
   }
-  return std::move(journal.rows());
+  return journal.takeRows();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/journal.hpp"
 #include "dynsched/util/strings.hpp"
 
 namespace dynsched::trace {
@@ -118,9 +119,17 @@ void SwfTrace::write(std::ostream& out) const {
 }
 
 void SwfTrace::writeFile(const std::string& path) const {
-  std::ofstream out(path);
-  DYNSCHED_CHECK_MSG(out.good(), "cannot write SWF file '" << path << "'");
+  // Atomic temp+rename write (dynsched-lint DSL004: no raw file writes): a
+  // crash mid-write must not leave a half-emitted trace that a later run
+  // would happily parse as a shorter workload.
+  std::ostringstream out;
   write(out);
+  try {
+    util::atomicWriteFile(path, out.str());
+  } catch (const util::JournalError& e) {
+    DYNSCHED_CHECK_MSG(false, "cannot write SWF file '" << path << "': "
+                                                        << e.what());
+  }
 }
 
 }  // namespace dynsched::trace

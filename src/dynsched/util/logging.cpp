@@ -5,6 +5,7 @@
 #include <cctype>
 
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/mutex.hpp"
 
 namespace dynsched::util {
 
@@ -63,6 +64,12 @@ LogLine::LogLine(LogLevel level, const char* file, int line)
 LogLine::~LogLine() {
   if (enabled_) {
     stream_ << '\n';
+    // One mutex serializes the sink so concurrent workers cannot interleave
+    // characters within a line (a single operator<< call is data-race-free
+    // on std::clog, but the standard does not promise character atomicity).
+    // dynsched-lint: allow(DSL002) guards std::clog, an external stream — there is no member field to annotate
+    static Mutex sinkMutex;
+    const MutexLock lock(sinkMutex);
     std::clog << stream_.str() << std::flush;
   }
 }

@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
 // The simulator and the MIP solver emit progress at Info/Debug; benches run
-// with Warn so their stdout stays machine-readable. Not thread-safe beyond
-// line atomicity (each log call formats into one string and writes once).
+// with Warn so their stdout stays machine-readable. Thread-safe with line
+// atomicity: each log call formats into one string, and a process-wide sink
+// mutex serializes the final write so concurrent workers cannot interleave
+// characters within a line.
 #pragma once
 
 #include <iostream>

@@ -1,0 +1,94 @@
+// Capability-annotated locking primitives.
+//
+// Clang Thread Safety Analysis can only track lock state through types that
+// carry capability annotations, which std::mutex does not. These thin
+// wrappers add the annotations and nothing else: Mutex is a std::mutex the
+// analysis can see, MutexLock is its scoped guard, CondVar is a condition
+// variable that waits on a Mutex directly. All dynsched code uses these
+// instead of the raw std types — dynsched-lint rule DSL001 enforces it.
+//
+// Usage pattern (see DESIGN.md "Threading model & capability map"):
+//
+//   class Queue {
+//    public:
+//     void push(Item item) DYNSCHED_EXCLUDES(mutex_) {
+//       const MutexLock lock(mutex_);
+//       items_.push_back(std::move(item));
+//     }
+//    private:
+//     void compactLocked() DYNSCHED_REQUIRES(mutex_);
+//     Mutex mutex_;
+//     std::vector<Item> items_ DYNSCHED_GUARDED_BY(mutex_);
+//   };
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "dynsched/util/thread_annotations.hpp"
+
+namespace dynsched::util {
+
+/// std::mutex with a capability annotation, so `-Wthread-safety` can check
+/// every DYNSCHED_GUARDED_BY field against it.
+class DYNSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DYNSCHED_ACQUIRE() { mutex_.lock(); }
+  void unlock() DYNSCHED_RELEASE() { mutex_.unlock(); }
+  bool try_lock() DYNSCHED_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped guard for Mutex (std::lock_guard shape). Non-movable: the
+/// capability is held for exactly the lexical scope.
+class DYNSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DYNSCHED_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DYNSCHED_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over Mutex. wait() atomically releases and reacquires
+/// the mutex, so from the caller's (and the analysis's) point of view the
+/// capability is held across the call — hence DYNSCHED_REQUIRES. Waits are
+/// deliberately predicate-free: callers loop
+///
+///   while (!condition) cv.wait(mutex_);
+///
+/// so the guarded condition reads stay inside the annotated caller instead
+/// of an un-annotatable lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — loop on the
+  /// condition). The mutex must be held; it is released while blocked and
+  /// held again on return.
+  void wait(Mutex& mutex) DYNSCHED_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any accepts any BasicLockable, which Mutex is; this
+  // is what lets the wait keep the annotated type instead of unwrapping to
+  // std::unique_lock<std::mutex>.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dynsched::util

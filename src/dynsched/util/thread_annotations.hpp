@@ -1,0 +1,66 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach compile-time locking contracts to shared state: which
+// capability (mutex) guards which field, which functions require or acquire
+// it, and which must be called with it released. Under
+// `clang++ -Wthread-safety -Werror` (the `wsafety` leg of scripts/check.sh
+// and CI) every violation — an unguarded read, a missing unlock on one path,
+// an acquisition-order cycle — is a build error. Under every other compiler
+// the macros expand to nothing, so the annotations are free.
+//
+// The annotated lock types live in util/mutex.hpp (the analysis can only
+// reason about capability-annotated types, not std::mutex directly); see
+// DESIGN.md "Threading model & capability map" for what guards what and how
+// to annotate new code.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DYNSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DYNSCHED_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable type). The string names the
+/// capability kind in diagnostics ("mutex").
+#define DYNSCHED_CAPABILITY(x) DYNSCHED_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard shape).
+#define DYNSCHED_SCOPED_CAPABILITY DYNSCHED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field may only be accessed while holding the capability.
+#define DYNSCHED_GUARDED_BY(x) DYNSCHED_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer/smart-pointer field may
+/// only be accessed while holding the capability.
+#define DYNSCHED_PT_GUARDED_BY(x) DYNSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The caller must hold the capability (exclusively) when calling.
+#define DYNSCHED_REQUIRES(...) \
+  DYNSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define DYNSCHED_ACQUIRE(...) \
+  DYNSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability before returning.
+#define DYNSCHED_RELEASE(...) \
+  DYNSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define DYNSCHED_TRY_ACQUIRE(result, ...) \
+  DYNSCHED_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention: the
+/// function acquires it itself, or joins threads that do).
+#define DYNSCHED_EXCLUDES(...) \
+  DYNSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define DYNSCHED_RETURN_CAPABILITY(x) \
+  DYNSCHED_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow. Every use must carry a
+/// comment explaining why it is correct.
+#define DYNSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  DYNSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)

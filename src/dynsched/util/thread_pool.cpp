@@ -1,6 +1,7 @@
 #include "dynsched/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace dynsched::util {
 
@@ -16,7 +17,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -29,8 +30,8 @@ void ThreadPool::workerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -43,10 +44,31 @@ void ThreadPool::parallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(count);
+  std::exception_ptr submitError;
   for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+    try {
+      futures.push_back(submit([&fn, i] { fn(i); }));
+    } catch (...) {
+      // A racing shutdown() rejected this task. The ones already accepted
+      // still reference `fn` (and through it the caller's frame); they keep
+      // draining on the workers, so this frame must not unwind past them.
+      submitError = std::current_exception();
+      break;
+    }
   }
-  for (auto& f : futures) f.get();
+  // Wait for every accepted task before letting any exception escape — the
+  // pre-fix code rethrew the first task failure mid-loop, unwinding while
+  // later tasks still ran against the caller's (now destroyed) state.
+  std::exception_ptr taskError;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (taskError == nullptr) taskError = std::current_exception();
+    }
+  }
+  if (taskError != nullptr) std::rethrow_exception(taskError);
+  if (submitError != nullptr) std::rethrow_exception(submitError);
 }
 
 }  // namespace dynsched::util

@@ -6,18 +6,22 @@
 // follows the C++ Core Guidelines concurrency rules: RAII joins all workers
 // (CP.23-style joining threads), tasks communicate results via futures
 // rather than shared mutable state.
+//
+// Locking discipline (checked by -Wthread-safety): `mutex_` guards the task
+// queue and the stop flag; it is never held while running a task or joining
+// a worker, and no other dynsched capability is ever acquired under it.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "dynsched/util/error.hpp"
+#include "dynsched/util/mutex.hpp"
+#include "dynsched/util/thread_annotations.hpp"
 
 namespace dynsched::util {
 
@@ -35,19 +39,20 @@ class ThreadPool {
   /// Drains the queue and joins all workers. Idempotent; racing submitters
   /// get a CheckError instead of a task that silently never runs. Must not
   /// be called from a worker thread (it would join itself).
-  void shutdown();
+  void shutdown() DYNSCHED_EXCLUDES(mutex_);
 
   /// Enqueues a task; the returned future yields its result (or exception).
   /// Throws CheckError once shutdown has begun — a task accepted after the
   /// stop would hold a future that never becomes ready.
   template <typename F>
-  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>>
+      DYNSCHED_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       DYNSCHED_CHECK_MSG(!stopping_, "ThreadPool::submit after shutdown");
       queue_.emplace_back([packaged] { (*packaged)(); });
     }
@@ -56,18 +61,25 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, count) on the pool and waits for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Every accepted task has finished by the time this returns — including
+  /// the exceptional paths (a task threw, or a racing shutdown() rejected a
+  /// later submit): queued tasks capture `fn` by reference, so unwinding
+  /// past a live task would leave the workers calling a dangling callable.
+  /// Exceptions from tasks are rethrown (the first one encountered, after
+  /// all tasks finished); a submit rejection rethrows only when no task
+  /// failed.
   void parallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn)
+      DYNSCHED_EXCLUDES(mutex_);
 
  private:
-  void workerLoop();
+  void workerLoop() DYNSCHED_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ DYNSCHED_GUARDED_BY(mutex_);
+  CondVar wake_;
+  bool stopping_ DYNSCHED_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dynsched::util

@@ -1,0 +1,33 @@
+// A file that follows every project rule — the linter must stay silent.
+// Not compiled; scanned by lint_test through lintPaths().
+#include "dynsched/util/mutex.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const dynsched::util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  dynsched::util::Mutex mutex_;
+  int value_ DYNSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+inline int readTable(const char* path) {
+  // dynsched-lint: allow(DSL004) fixture demonstrating a reasoned suppression
+  std::ofstream out(path);
+  return out ? 0 : 1;
+}
+
+inline void survive() {
+  try {
+    throw 1;
+  } catch (...) {
+    throw;  // preserved, not dropped
+  }
+}
+
+}  // namespace fixture

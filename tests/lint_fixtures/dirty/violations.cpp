@@ -1,0 +1,37 @@
+// One deliberate violation per project rule — lint_test asserts each is
+// reported exactly once, at the marked line. Not compiled.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex rawMutex;                    // DSL001
+
+class Holder {
+  Mutex lonely_;                        // DSL002: guards nothing
+};
+
+void spawn() {
+  std::thread worker([] {});            // DSL003
+  worker.join();
+}
+
+void dump(const char* path) {
+  std::ofstream out(path);              // DSL004
+  // dynsched-lint: allow(DSL004)
+  std::ofstream bare(path);             // DSL000: suppression has no reason
+}
+
+int roll() {
+  std::mt19937 gen(7);                  // DSL006
+  return static_cast<int>(gen());
+}
+
+void swallow() {
+  try {
+    spawn();
+  } catch (...) {                       // DSL007: error dropped
+  }
+}
+
+}  // namespace fixture

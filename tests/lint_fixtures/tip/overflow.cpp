@@ -1,0 +1,13 @@
+// DSL005 fixture: lives under tip/ so the model-size arithmetic rule is in
+// scope. Not compiled.
+namespace fixture {
+
+long badProduct(long rows, long cols) {
+  return rows * cols;                   // DSL005
+}
+
+long goodProduct(long rows, long cols) {
+  return checkedMul(rows, cols);        // routed through checked arithmetic
+}
+
+}  // namespace fixture

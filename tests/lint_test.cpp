@@ -1,0 +1,364 @@
+// dynsched-lint rule coverage: every rule has a bad snippet that fires and a
+// good twin that stays silent, suppressions work (and malformed ones are
+// themselves findings), path scoping is honoured, and the JSON report has
+// the documented shape. Inline snippets pin the per-rule behaviour; the
+// fixture directory pins the directory-walking entry point end to end.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace dynsched::lint {
+namespace {
+
+std::vector<std::string> rulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+std::vector<Finding> lintAt(const std::string& path, const std::string& src) {
+  return lintFile(path, src);
+}
+
+// Generic path: in scope for every rule except the path-scoped DSL005.
+const char* const kPath = "src/dynsched/core/sample.cpp";
+
+TEST(LintCatalog, HasAllRulesWithStableIds) {
+  const auto& catalog = ruleCatalog();
+  ASSERT_EQ(catalog.size(), 8u);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(std::string(catalog[i].id), "DSL00" + std::to_string(i));
+    EXPECT_FALSE(std::string(catalog[i].summary).empty());
+  }
+}
+
+// --- DSL001: raw standard sync types ---------------------------------------
+
+TEST(LintRules, Dsl001FlagsRawStdMutex) {
+  const auto findings = lintAt(kPath, "std::mutex m;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL001");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[0].snippet, "std::mutex m;");
+}
+
+TEST(LintRules, Dsl001FlagsLockTypesAndCondvars) {
+  const auto findings = lintAt(
+      kPath,
+      "void f(std::condition_variable& cv) {\n"
+      "  std::unique_lock<std::mutex> lock(m);\n"
+      "  std::scoped_lock guard(a, b);\n"
+      "}\n");
+  const auto rules = rulesOf(findings);
+  EXPECT_EQ(rules, (std::vector<std::string>{"DSL001", "DSL001", "DSL001",
+                                             "DSL001"}));
+}
+
+TEST(LintRules, Dsl001AllowsTheWrapperItself) {
+  EXPECT_TRUE(
+      lintAt("src/dynsched/util/mutex.hpp", "std::mutex m;\n").empty());
+}
+
+TEST(LintRules, Dsl001IgnoresMentionsInCommentsAndStrings) {
+  EXPECT_TRUE(lintAt(kPath,
+                     "// std::mutex is banned here\n"
+                     "const char* kDoc = \"std::mutex\";\n")
+                  .empty());
+}
+
+// --- DSL002: Mutex that guards nothing -------------------------------------
+
+TEST(LintRules, Dsl002FlagsMutexWithoutGuardedField) {
+  const auto findings = lintAt(kPath,
+                               "class C {\n"
+                               "  util::Mutex mutex_;\n"
+                               "  int value_ = 0;\n"
+                               "};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL002");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintRules, Dsl002SilentWhenSomethingIsGuarded) {
+  EXPECT_TRUE(lintAt(kPath,
+                     "class C {\n"
+                     "  mutable util::Mutex mutex_;\n"
+                     "  int value_ DYNSCHED_GUARDED_BY(mutex_) = 0;\n"
+                     "};\n")
+                  .empty());
+}
+
+TEST(LintRules, Dsl002IgnoresReferencesAndTheClassDefinition) {
+  EXPECT_TRUE(lintAt(kPath,
+                     "class Mutex;\n"
+                     "void f(Mutex& mutex) { g(mutex); }\n")
+                  .empty());
+}
+
+// --- DSL003: raw threads ----------------------------------------------------
+
+TEST(LintRules, Dsl003FlagsStdThreadAndPthreadCreate) {
+  const auto findings = lintAt(kPath,
+                               "std::thread t([] {});\n"
+                               "pthread_create(&id, nullptr, fn, arg);\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL003", "DSL003"}));
+}
+
+TEST(LintRules, Dsl003AllowsHardwareConcurrencyAndThePool) {
+  EXPECT_TRUE(
+      lintAt(kPath, "unsigned n = std::thread::hardware_concurrency();\n")
+          .empty());
+  EXPECT_TRUE(lintAt("src/dynsched/util/thread_pool.cpp",
+                     "std::thread worker([] {});\n")
+                  .empty());
+}
+
+// --- DSL004: raw file writes ------------------------------------------------
+
+TEST(LintRules, Dsl004FlagsOfstreamAndFopen) {
+  const auto findings = lintAt(kPath,
+                               "std::ofstream out(path);\n"
+                               "FILE* f = fopen(path, \"w\");\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL004", "DSL004"}));
+}
+
+TEST(LintRules, Dsl004AllowsTheJournalAndMpsWriter) {
+  EXPECT_TRUE(lintAt("src/dynsched/util/journal.cpp",
+                     "std::ofstream out(path);\n")
+                  .empty());
+  EXPECT_TRUE(lintAt("src/dynsched/lp/mps_writer.cpp",
+                     "std::ofstream out(path);\n")
+                  .empty());
+}
+
+// --- DSL005: unchecked size arithmetic (path-scoped) ------------------------
+
+TEST(LintRules, Dsl005FlagsSizeProductsOnlyInModelLayers) {
+  const std::string src = "auto bytes = rows * cols;\n";
+  const auto inTip = lintAt("src/dynsched/tip/model.cpp", src);
+  ASSERT_EQ(inTip.size(), 1u);
+  EXPECT_EQ(inTip[0].rule, "DSL005");
+  // The same expression outside tip//lp//mip/ is out of scope.
+  EXPECT_TRUE(lintAt("src/dynsched/core/profile.cpp", src).empty());
+}
+
+TEST(LintRules, Dsl005SeesThroughMemberChains) {
+  const auto findings = lintAt("src/dynsched/lp/model.cpp",
+                               "auto n = grid.slots() * job.estimate;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL005");
+}
+
+TEST(LintRules, Dsl005AllowsCheckedAndFloatingPointForms) {
+  EXPECT_TRUE(lintAt("src/dynsched/tip/model.cpp",
+                     "auto a = util::checkedMul(rows, cols);\n"
+                     "double r = static_cast<double>(rows) * cols;\n")
+                  .empty());
+}
+
+TEST(LintRules, Dsl005IgnoresNonSizeOperands) {
+  EXPECT_TRUE(lintAt("src/dynsched/tip/model.cpp",
+                     "auto x = offset * stride;\n"
+                     "auto y = rows * 2;\n")
+                  .empty());
+}
+
+// --- DSL006: raw randomness -------------------------------------------------
+
+TEST(LintRules, Dsl006FlagsStdRandomAndCRand) {
+  const auto findings = lintAt(kPath,
+                               "std::mt19937 gen(seed);\n"
+                               "std::random_device rd;\n"
+                               "int x = rand();\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL006", "DSL006", "DSL006"}));
+}
+
+TEST(LintRules, Dsl006AllowsRngModuleAndMemberNamedRand) {
+  EXPECT_TRUE(
+      lintAt("src/dynsched/util/rng.cpp", "std::mt19937 gen(seed);\n")
+          .empty());
+  // A member function named rand() is the project's own Rng, not libc.
+  EXPECT_TRUE(lintAt(kPath, "auto v = rng.rand();\n").empty());
+}
+
+// --- DSL007: swallowed catch-all --------------------------------------------
+
+TEST(LintRules, Dsl007FlagsCatchAllThatDropsTheError) {
+  const auto findings = lintAt(kPath,
+                               "void f() {\n"
+                               "  try { g(); } catch (...) { cleanup(); }\n"
+                               "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL007");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintRules, Dsl007AllowsRethrowAndCapturedExceptions) {
+  EXPECT_TRUE(lintAt(kPath,
+                     "void f() {\n"
+                     "  try { g(); } catch (...) { cleanup(); throw; }\n"
+                     "  try { g(); } catch (...) {\n"
+                     "    error = std::current_exception();\n"
+                     "  }\n"
+                     "}\n")
+                  .empty());
+}
+
+// --- Suppressions and DSL000 ------------------------------------------------
+
+TEST(LintSuppressions, ReasonedAllowOnSameLineSuppresses) {
+  EXPECT_TRUE(
+      lintAt(kPath,
+             "std::ofstream out(p);  // dynsched-lint: allow(DSL004) owns p\n")
+          .empty());
+}
+
+TEST(LintSuppressions, ReasonedAllowOnPrecedingLineSuppresses) {
+  EXPECT_TRUE(lintAt(kPath,
+                     "// dynsched-lint: allow(DSL004) fixture writer owns p\n"
+                     "std::ofstream out(p);\n")
+                  .empty());
+}
+
+TEST(LintSuppressions, AllowListCoversMultipleRules) {
+  EXPECT_TRUE(
+      lintAt(kPath,
+             "// dynsched-lint: allow(DSL004, DSL006) seeded scratch dump\n"
+             "std::ofstream out(p); std::mt19937 gen(1);\n")
+          .empty());
+}
+
+TEST(LintSuppressions, AllowOnlySilencesItsOwnRule) {
+  const auto findings =
+      lintAt(kPath,
+             "// dynsched-lint: allow(DSL006) seeded demo\n"
+             "std::ofstream out(p);\n");
+  EXPECT_EQ(rulesOf(findings), (std::vector<std::string>{"DSL004"}));
+}
+
+TEST(LintSuppressions, MissingReasonIsAFindingAndDoesNotSuppress) {
+  const auto findings = lintAt(kPath,
+                               "// dynsched-lint: allow(DSL004)\n"
+                               "std::ofstream out(p);\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL000", "DSL004"}));
+}
+
+TEST(LintSuppressions, UnknownRuleIdIsAFinding) {
+  const auto findings =
+      lintAt(kPath, "// dynsched-lint: allow(DSL999) because reasons\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL000");
+}
+
+TEST(LintSuppressions, Dsl000ItselfCannotBeAllowed) {
+  // allow(DSL000) is rejected as unknown: a meta-suppression would let a
+  // malformed suppression hide itself.
+  const auto findings =
+      lintAt(kPath, "// dynsched-lint: allow(DSL000) quiet the linter\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL000");
+}
+
+// --- Lexer corner cases -----------------------------------------------------
+
+TEST(LintLexer, DigitSeparatorsDoNotStartCharLiterals) {
+  // If 20'000 opened a character literal, the std::mutex after it would be
+  // blanked as literal content and the finding lost.
+  const auto findings = lintAt(kPath,
+                               "constexpr long kBudget = 20'000'000;\n"
+                               "std::mutex m;\n");
+  EXPECT_EQ(rulesOf(findings), (std::vector<std::string>{"DSL001"}));
+}
+
+TEST(LintLexer, BlockCommentsSpanningLinesKeepLineNumbers) {
+  const auto findings = lintAt(kPath,
+                               "/* block\n   comment */\n"
+                               "std::mutex m;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintLexer, EscapedQuotesInStringsDoNotDerailTheScan) {
+  const auto findings = lintAt(kPath,
+                               "const char* s = \"quote \\\" inside\";\n"
+                               "std::mutex m;\n");
+  EXPECT_EQ(rulesOf(findings), (std::vector<std::string>{"DSL001"}));
+}
+
+// --- Directory walking over the fixture tree --------------------------------
+
+TEST(LintPaths, FixtureTreeReportsExpectedRulesPerFile) {
+  const std::string root = DYNSCHED_LINT_FIXTURE_DIR;
+  const LintResult result = lintPaths({root});
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(result.filesScanned, 3u);
+
+  std::vector<std::string> dirty;
+  std::vector<std::string> tip;
+  std::vector<std::string> clean;
+  for (const Finding& finding : result.findings) {
+    if (finding.file.find("dirty/") != std::string::npos) {
+      dirty.push_back(finding.rule);
+    } else if (finding.file.find("tip/") != std::string::npos) {
+      tip.push_back(finding.rule);
+    } else {
+      clean.push_back(finding.rule);
+    }
+  }
+  EXPECT_TRUE(clean.empty()) << "clean fixture must stay silent";
+  std::sort(dirty.begin(), dirty.end());
+  EXPECT_EQ(dirty, (std::vector<std::string>{"DSL000", "DSL001", "DSL002",
+                                             "DSL003", "DSL004", "DSL004",
+                                             "DSL006", "DSL007"}));
+  EXPECT_EQ(tip, (std::vector<std::string>{"DSL005"}));
+}
+
+TEST(LintPaths, MissingPathIsAnErrorNotAFinding) {
+  const LintResult result = lintPaths({"no/such/path"});
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("no/such/path"), std::string::npos);
+}
+
+// --- Report rendering -------------------------------------------------------
+
+TEST(LintRender, TextReportCarriesLocationRuleAndSnippet) {
+  LintResult result;
+  result.filesScanned = 1;
+  result.findings = lintAt(kPath, "std::mutex m;\n");
+  const std::string text = renderText(result);
+  // Column 6 — the finding points at the `mutex` token, not line start.
+  EXPECT_NE(text.find("src/dynsched/core/sample.cpp:1:6: DSL001:"),
+            std::string::npos);
+  EXPECT_NE(text.find("| std::mutex m;"), std::string::npos);
+  EXPECT_NE(text.find("1 finding in 1 file scanned"), std::string::npos);
+}
+
+TEST(LintRender, JsonReportHasDocumentedShapeAndEscapes) {
+  LintResult result;
+  result.filesScanned = 2;
+  result.findings =
+      lintAt(kPath, "const char* s = \"x\"; std::mutex m;\n");
+  result.errors.push_back("cannot read \"weird\".cpp");
+  const std::string json = renderJson(result);
+  EXPECT_NE(json.find("\"tool\": \"dynsched-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"filesScanned\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"DSL001\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": {\"DSL001\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 1"), std::string::npos);
+  // The snippet contains a double quote — it must arrive escaped.
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("cannot read \\\"weird\\\".cpp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynsched::lint

@@ -4,6 +4,8 @@
 // submitters stay well-defined while the stop propagates.
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -81,6 +83,58 @@ TEST(ThreadPool, ConcurrentSubmitDuringShutdown) {
     }
   }
   EXPECT_EQ(completed, accepted.load());
+}
+
+TEST(ThreadPool, ParallelForJoinsAllTasksWhenOneThrows) {
+  // Regression (found annotating the pool for -Wthread-safety): the old
+  // parallelFor rethrew the first task exception mid-wait-loop, unwinding
+  // the caller while later queued tasks still referenced its lambda and
+  // data — a use-after-scope that ASan/TSan flag here if it comes back.
+  // With 2 workers and 256 slow tasks the queue is guaranteed non-empty
+  // when task 0's exception surfaces.
+  ThreadPool pool(2);
+  auto data = std::make_unique<std::vector<int>>(256, 0);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallelFor(256, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      (*data)[i] = 1;  // dangles if parallelFor unwound past live tasks
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the task exception to be rethrown";
+  } catch (const std::runtime_error&) {
+  }
+  // Safe to free only because parallelFor joined every accepted task.
+  data.reset();
+  EXPECT_EQ(ran.load(), 255);
+}
+
+TEST(ThreadPool, ParallelForJoinsAcceptedTasksWhenShutdownRaces) {
+  // A shutdown racing the submit loop makes a later submit throw
+  // CheckError; the tasks accepted before the stop keep draining on the
+  // workers, so parallelFor must wait for them before rethrowing. The race
+  // window is probabilistic — iterate; TSan/ASan catch any interleaving
+  // where the old code unwound early.
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    ThreadPool pool(2);
+    auto data = std::make_unique<std::vector<int>>(512, 0);
+    std::thread stopper([&pool] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      pool.shutdown();
+    });
+    try {
+      pool.parallelFor(512, [&](std::size_t i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        (*data)[i] = 1;
+      });
+    } catch (const CheckError&) {
+      // The stop won the race for some submit; every accepted task still
+      // finished before the throw reached us.
+    }
+    data.reset();
+    stopper.join();
+  }
 }
 
 TEST(ThreadPool, ParallelForSurvivesConcurrentUse) {

@@ -1,0 +1,97 @@
+// dynsched-lint CLI. Scans the given files/directories against the project
+// rule catalog (see tools/lint/lint.hpp) and reports findings as
+// "file:line:col: RULE: message" text or as JSON.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O errors — so CI can
+// distinguish "the tree is dirty" from "the gate itself did not run".
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int exitCode) {
+  os << "usage: dynsched_lint [options] <path>...\n"
+        "\n"
+        "Scans *.cpp/*.cc/*.hpp/*.h under the given paths against the\n"
+        "dynsched project rules (DSL001..DSL007).\n"
+        "\n"
+        "options:\n"
+        "  --json             emit the JSON report on stdout instead of text\n"
+        "  --json-out <file>  also write the JSON report to <file>\n"
+        "  --list-rules       print the rule catalog and exit\n"
+        "  -h, --help         this help\n"
+        "\n"
+        "Suppress a finding with a reasoned comment on the same line or the\n"
+        "line above:\n"
+        "  // dynsched-lint: allow(DSL004) writes a temp file it owns\n"
+        "\n"
+        "exit: 0 clean, 1 findings, 2 usage/errors\n";
+  return exitCode;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonStdout = false;
+  std::string jsonOut;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      for (const auto& rule : dynsched::lint::ruleCatalog()) {
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      jsonStdout = true;
+      continue;
+    }
+    if (arg == "--json-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "dynsched-lint: --json-out needs a file argument\n";
+        return 2;
+      }
+      jsonOut = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dynsched-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "dynsched-lint: no paths given\n";
+    return usage(std::cerr, 2);
+  }
+
+  const dynsched::lint::LintResult result = dynsched::lint::lintPaths(paths);
+
+  if (!jsonOut.empty()) {
+    // The report file is advisory CI output, not crash-safe state, and this
+    // tool must stay dependency-free of the dynsched libraries it lints.
+    // dynsched-lint: allow(DSL004) standalone tool; report file is advisory output
+    std::ofstream out(jsonOut, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "dynsched-lint: cannot write " << jsonOut << "\n";
+      return 2;
+    }
+    out << dynsched::lint::renderJson(result);
+  }
+  std::cout << (jsonStdout ? dynsched::lint::renderJson(result)
+                           : dynsched::lint::renderText(result));
+  if (!result.errors.empty()) {
+    for (const std::string& error : result.errors) {
+      std::cerr << "dynsched-lint: error: " << error << "\n";
+    }
+    return 2;
+  }
+  return result.findings.empty() ? 0 : 1;
+}

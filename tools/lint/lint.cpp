@@ -1,0 +1,820 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dynsched::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalog & path scoping
+
+const std::vector<RuleInfo> kRules = {
+    {"DSL000", "malformed dynsched-lint suppression (unknown rule ID or "
+               "missing reason)"},
+    {"DSL001", "raw std:: mutex/condition_variable/lock outside util/mutex.hpp"
+               " — use the capability-annotated util::Mutex family"},
+    {"DSL002", "util::Mutex member without a DYNSCHED_GUARDED_BY(<name>) "
+               "field in the same file"},
+    {"DSL003", "std::thread / pthread_create outside util/thread_pool — all "
+               "parallelism goes through util::ThreadPool"},
+    {"DSL004", "raw file write (std::ofstream / fopen) outside util/journal "
+               "and lp/mps_writer — use util::atomicWriteFile"},
+    {"DSL005", "unchecked * or + on model-size expressions in tip//lp//mip/ "
+               "— use util::checkedMul / util::checkedAdd"},
+    {"DSL006", "rand()/std:: random machinery outside util/rng — streams "
+               "must be bit-reproducible"},
+    {"DSL007", "catch (...) whose handler never rethrows — the error is "
+               "silently dropped"},
+};
+
+bool knownRule(const std::string& id) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+std::string normalizePath(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool pathHas(const std::string& normalized, std::string_view piece) {
+  return normalized.find(piece) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: blank comments and literals out of the "code view"
+// (preserving offsets) while harvesting suppression directives from the
+// comment text.
+
+struct Suppression {
+  std::set<std::string> rules;
+  bool valid = false;     // parsed cleanly with a known ID and a reason
+  std::string problem;    // why it is malformed (DSL000 message)
+};
+
+struct SourceView {
+  std::string code;                        // literals/comments -> spaces
+  std::vector<std::string> lines;          // raw source lines (for snippets)
+  std::map<std::size_t, Suppression> suppressions;  // by 1-based line
+};
+
+std::string trimCopy(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Parses an allow(RULE-ID[, RULE-ID]) reason directive out of a comment.
+void parseDirective(std::string_view comment, std::size_t line,
+                    SourceView& view) {
+  const std::string_view marker = "dynsched-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string_view::npos) return;
+  Suppression sup;
+  std::string_view rest = comment.substr(at + marker.size());
+  const std::string directive = trimCopy(rest);
+  const std::string_view allow = "allow(";
+  if (directive.compare(0, allow.size(), allow) != 0) {
+    sup.problem = "expected 'allow(RULE-ID[, RULE-ID]) reason' after "
+                  "'dynsched-lint:'";
+    view.suppressions.emplace(line, std::move(sup));
+    return;
+  }
+  const std::size_t close = directive.find(')');
+  if (close == std::string::npos) {
+    sup.problem = "unterminated allow(...) rule list";
+    view.suppressions.emplace(line, std::move(sup));
+    return;
+  }
+  std::stringstream ids(directive.substr(allow.size(), close - allow.size()));
+  std::string id;
+  while (std::getline(ids, id, ',')) {
+    id = trimCopy(id);
+    if (!knownRule(id) || id == "DSL000") {
+      sup.problem = "unknown rule ID '" + id + "' in allow(...)";
+      view.suppressions.emplace(line, std::move(sup));
+      return;
+    }
+    sup.rules.insert(id);
+  }
+  const std::string reason = trimCopy(directive.substr(close + 1));
+  if (sup.rules.empty()) {
+    sup.problem = "empty allow(...) rule list";
+  } else if (reason.empty()) {
+    sup.problem = "missing reason after allow(" +
+                  *sup.rules.begin() + (sup.rules.size() > 1 ? ", ..." : "") +
+                  ") — say why the rule does not apply";
+  } else {
+    sup.valid = true;
+  }
+  view.suppressions.emplace(line, std::move(sup));
+}
+
+bool identByte(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+SourceView preprocess(std::string_view text) {
+  SourceView view;
+  {
+    // Raw lines, kept verbatim for finding snippets.
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        view.lines.emplace_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (start < text.size()) view.lines.emplace_back(text.substr(start));
+  }
+  view.code.assign(text.size(), ' ');
+  enum class State { Code, LineComment, BlockComment, String, Char };
+  State state = State::Code;
+  std::size_t line = 1;
+  std::size_t commentStartLine = 0;
+  std::string comment;
+  char prevCode = '\0';  // last non-space code byte (digit-separator check)
+  const auto newline = [&](std::size_t at) {
+    view.code[at] = '\n';  // newlines survive blanking so token lines hold
+    ++line;
+  };
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          commentStartLine = line;
+          comment.clear();
+          i += 2;
+          continue;
+        }
+        if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          commentStartLine = line;
+          comment.clear();
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          // Raw strings are not used in this tree; a plain-string scan that
+          // honours backslash escapes is sufficient and keeps offsets exact.
+          state = State::String;
+          ++i;
+          continue;
+        }
+        if (c == '\'' && !identByte(prevCode)) {
+          // A quote after an identifier/digit byte is a digit separator
+          // (20'000), not a character literal.
+          state = State::Char;
+          ++i;
+          continue;
+        }
+        if (c == '\n') {
+          newline(i);
+        } else {
+          view.code[i] = c;
+          if (std::isspace(static_cast<unsigned char>(c)) == 0) prevCode = c;
+        }
+        ++i;
+        continue;
+      case State::LineComment:
+        if (c == '\n') {
+          parseDirective(comment, commentStartLine, view);
+          state = State::Code;
+          prevCode = '\0';
+          newline(i);
+        } else {
+          comment.push_back(c);
+        }
+        ++i;
+        continue;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          parseDirective(comment, commentStartLine, view);
+          state = State::Code;
+          i += 2;
+          continue;
+        }
+        if (c == '\n') newline(i);
+        comment.push_back(c);
+        ++i;
+        continue;
+      case State::String:
+        if (c == '\\') {
+          if (next == '\n') newline(i + 1);  // line continuation in a string
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          state = State::Code;
+          prevCode = '"';
+        } else if (c == '\n') {
+          newline(i);  // unterminated string: keep line numbers sane
+        }
+        ++i;
+        continue;
+      case State::Char:
+        if (c == '\\') {
+          i += 2;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::Code;
+          prevCode = '\'';
+        } else if (c == '\n') {
+          newline(i);
+        }
+        ++i;
+        continue;
+    }
+  }
+  if (state == State::LineComment || state == State::BlockComment) {
+    parseDirective(comment, commentStartLine, view);
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer over the code view
+
+struct Token {
+  enum class Kind { Ident, Number, Punct };
+  Kind kind;
+  std::string text;
+  std::size_t line;    // 1-based
+  std::size_t column;  // 1-based
+};
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t lineStart = 0;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      lineStart = i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t column = i - lineStart + 1;
+    if (identStart(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && identChar(code[j])) ++j;
+      tokens.push_back(
+          {Token::Kind::Ident, code.substr(i, j - i), line, column});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (identChar(code[j]) || code[j] == '\'' || code[j] == '.')) {
+        ++j;
+      }
+      tokens.push_back(
+          {Token::Kind::Number, code.substr(i, j - i), line, column});
+      i = j;
+      continue;
+    }
+    // Multi-character operators that matter here: keep compound assignment
+    // and increment forms distinct so plain binary '*'/'+' can be matched.
+    static const char* kPairs[] = {"::", "->", "...", "++", "--", "+=", "-=",
+                                   "*=", "/=", "<<", ">>", "&&", "||", "=="};
+    std::string punct(1, c);
+    for (const char* pair : kPairs) {
+      const std::size_t len = std::char_traits<char>::length(pair);
+      if (code.compare(i, len, pair) == 0) {
+        punct = pair;
+        break;
+      }
+    }
+    tokens.push_back({Token::Kind::Punct, punct, line, column});
+    i += punct.size();
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Finding helpers
+
+struct FileLint {
+  const std::string& path;       // normalized
+  const SourceView& view;
+  const std::vector<Token>& tokens;
+  std::vector<Finding>& findings;
+
+  void report(const std::string& rule, std::size_t line, std::size_t column,
+              std::string message) const {
+    for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
+      const auto it = view.suppressions.find(at);
+      if (it != view.suppressions.end() && it->second.valid &&
+          it->second.rules.count(rule) > 0) {
+        return;  // explicitly allowed, with a reason
+      }
+    }
+    Finding finding;
+    finding.file = path;
+    finding.line = line;
+    finding.column = column;
+    finding.rule = rule;
+    finding.message = std::move(message);
+    if (line >= 1 && line <= view.lines.size()) {
+      finding.snippet = trimCopy(view.lines[line - 1]);
+    }
+    findings.push_back(std::move(finding));
+  }
+};
+
+bool isStdQualified(const std::vector<Token>& tokens, std::size_t identIndex) {
+  return identIndex >= 2 && tokens[identIndex - 1].text == "::" &&
+         tokens[identIndex - 2].text == "std";
+}
+
+// DSL000 — malformed suppressions are findings in their own right.
+void checkSuppressions(const FileLint& lint) {
+  for (const auto& [line, sup] : lint.view.suppressions) {
+    if (!sup.valid) {
+      Finding finding;
+      finding.file = lint.path;
+      finding.line = line;
+      finding.column = 1;
+      finding.rule = "DSL000";
+      finding.message = "malformed dynsched-lint suppression: " + sup.problem;
+      if (line >= 1 && line <= lint.view.lines.size()) {
+        finding.snippet = trimCopy(lint.view.lines[line - 1]);
+      }
+      lint.findings.push_back(std::move(finding));
+    }
+  }
+}
+
+// DSL001 — only the annotated wrappers may touch raw standard sync types.
+void checkRawSyncTypes(const FileLint& lint) {
+  if (pathHas(lint.path, "util/mutex.hpp") ||
+      pathHas(lint.path, "util/thread_annotations.hpp")) {
+    return;
+  }
+  static const std::set<std::string> kTypes = {
+      "mutex",          "timed_mutex",    "recursive_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "lock_guard",     "unique_lock",    "scoped_lock", "shared_lock"};
+  for (std::size_t i = 0; i < lint.tokens.size(); ++i) {
+    const Token& token = lint.tokens[i];
+    if (token.kind != Token::Kind::Ident || kTypes.count(token.text) == 0) {
+      continue;
+    }
+    if (!isStdQualified(lint.tokens, i)) continue;
+    lint.report("DSL001", token.line, token.column,
+                "raw std::" + token.text +
+                    "; use the capability-annotated util::Mutex / "
+                    "util::MutexLock / util::CondVar (util/mutex.hpp) so "
+                    "-Wthread-safety can check the locking discipline");
+  }
+}
+
+// DSL002 — a declared Mutex must guard something in the same file.
+void checkUnguardedMutex(const FileLint& lint) {
+  if (pathHas(lint.path, "util/mutex.hpp")) return;
+  std::set<std::string> guarded;
+  const std::vector<Token>& tokens = lint.tokens;
+  for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+    if (tokens[i].text == "DYNSCHED_GUARDED_BY" && tokens[i + 1].text == "(" &&
+        tokens[i + 2].kind == Token::Kind::Ident &&
+        tokens[i + 3].text == ")") {
+      guarded.insert(tokens[i + 2].text);
+    }
+  }
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "Mutex" || tokens[i].kind != Token::Kind::Ident) {
+      continue;
+    }
+    // Declaration shape "Mutex name;" — references, parameters, and the
+    // class definition itself all fail this filter.
+    if (tokens[i + 1].kind != Token::Kind::Ident ||
+        tokens[i + 2].text != ";") {
+      continue;
+    }
+    if (i > 0 && (tokens[i - 1].text == "class" ||
+                  tokens[i - 1].text == "struct")) {
+      continue;
+    }
+    const std::string& name = tokens[i + 1].text;
+    if (guarded.count(name) > 0) continue;
+    lint.report("DSL002", tokens[i].line, tokens[i].column,
+                "Mutex '" + name +
+                    "' has no DYNSCHED_GUARDED_BY(" + name +
+                    ") field in this file; annotate what it guards so "
+                    "-Wthread-safety has something to check");
+  }
+}
+
+// DSL003 — threads are only spawned by the pool.
+void checkRawThreads(const FileLint& lint) {
+  if (pathHas(lint.path, "util/thread_pool.")) return;
+  for (std::size_t i = 0; i < lint.tokens.size(); ++i) {
+    const Token& token = lint.tokens[i];
+    if (token.kind != Token::Kind::Ident) continue;
+    const bool stdThread =
+        (token.text == "thread" || token.text == "jthread") &&
+        isStdQualified(lint.tokens, i) &&
+        // std::thread::hardware_concurrency() is a capability query, not a
+        // spawn; std::this_thread is namespace-adjacent but harmless.
+        !(i + 2 < lint.tokens.size() && lint.tokens[i + 1].text == "::" &&
+          lint.tokens[i + 2].text == "hardware_concurrency");
+    const bool pthread = token.text == "pthread_create";
+    if (!stdThread && !pthread) continue;
+    lint.report("DSL003", token.line, token.column,
+                "raw " + std::string(pthread ? "pthread_create" : "std::") +
+                    (pthread ? "" : token.text) +
+                    " outside util/thread_pool; route parallelism through "
+                    "util::ThreadPool (owned shutdown, queue draining, "
+                    "joined workers)");
+  }
+}
+
+// DSL004 — file writes go through the atomic temp+rename path.
+void checkRawFileWrites(const FileLint& lint) {
+  if (pathHas(lint.path, "util/journal.") ||
+      pathHas(lint.path, "lp/mps_writer.")) {
+    return;
+  }
+  for (std::size_t i = 0; i < lint.tokens.size(); ++i) {
+    const Token& token = lint.tokens[i];
+    if (token.kind != Token::Kind::Ident) continue;
+    const bool isOfstream =
+        token.text == "ofstream";  // qualified or not — both are raw writes
+    const bool isCFile = (token.text == "fopen" || token.text == "freopen") &&
+                         i + 1 < lint.tokens.size() &&
+                         lint.tokens[i + 1].text == "(";
+    if (!isOfstream && !isCFile) continue;
+    lint.report("DSL004", token.line, token.column,
+                "raw file write via " + token.text +
+                    "; route through util::atomicWriteFile (crash-safe "
+                    "temp+rename — readers must never see a torn file)");
+  }
+}
+
+// DSL005 — size products/sums in the model layers must be overflow-checked.
+const std::set<std::string>& sizeNames() {
+  static const std::set<std::string> kNames = {
+      "slots",      "numslots",     "slotcount",  "rows",       "numrows",
+      "lprows",     "cols",         "numcols",    "columns",    "numcolumns",
+      "lpcolumns",  "vars",         "numvars",    "variables",  "numvariables",
+      "entries",    "numentries",   "nnz",        "nonzeros",   "size",
+      "count",      "horizon",      "makespan",   "accruntime", "timescale",
+      "jobs",       "numjobs",      "estimate",   "width"};
+  return kNames;
+}
+
+std::string lowered(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+/// Walks a postfix chain backwards from `index` (exclusive) and returns the
+/// last-named identifier: `grid.slots()` -> "slots", `a.size()` -> "size",
+/// plain `jobs` -> "jobs". Returns "" if the shape is not a value chain.
+std::string leftOperandName(const std::vector<Token>& tokens,
+                            std::size_t opIndex) {
+  if (opIndex == 0) return "";
+  std::size_t i = opIndex - 1;
+  if (tokens[i].text == ")") {
+    int depth = 1;
+    while (i > 0 && depth > 0) {
+      --i;
+      if (tokens[i].text == ")") ++depth;
+      if (tokens[i].text == "(") --depth;
+    }
+    if (depth != 0 || i == 0) return "";
+    --i;  // token before '('
+  }
+  if (tokens[i].kind != Token::Kind::Ident) return "";
+  return tokens[i].text;
+}
+
+std::string rightOperandName(const std::vector<Token>& tokens,
+                             std::size_t opIndex) {
+  std::size_t i = opIndex + 1;
+  if (i >= tokens.size() || tokens[i].kind != Token::Kind::Ident) return "";
+  std::string name = tokens[i].text;
+  // Follow a member/scope chain to its last identifier: job.estimate,
+  // grid.slots(), lp::numVariables().
+  while (i + 2 < tokens.size() &&
+         (tokens[i + 1].text == "." || tokens[i + 1].text == "->" ||
+          tokens[i + 1].text == "::") &&
+         tokens[i + 2].kind == Token::Kind::Ident) {
+    i += 2;
+    name = tokens[i].text;
+  }
+  return name;
+}
+
+void checkUncheckedSizeArith(const FileLint& lint) {
+  if (!pathHas(lint.path, "/tip/") && !pathHas(lint.path, "/lp/") &&
+      !pathHas(lint.path, "/mip/") && !pathHas(lint.path, "tip/") &&
+      !pathHas(lint.path, "lp/") && !pathHas(lint.path, "mip/")) {
+    return;
+  }
+  const std::vector<Token>& tokens = lint.tokens;
+  for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::Punct ||
+        (tokens[i].text != "*" && tokens[i].text != "+")) {
+      continue;
+    }
+    const std::string left = lowered(leftOperandName(tokens, i));
+    const std::string right = lowered(rightOperandName(tokens, i));
+    if (left.empty() || right.empty()) continue;
+    if (sizeNames().count(left) == 0 || sizeNames().count(right) == 0) {
+      continue;
+    }
+    // Escape hatches the token scan can verify: the expression already
+    // routes through checked arithmetic, or is explicitly floating-point.
+    const std::size_t line = tokens[i].line;
+    bool escaped = false;
+    for (std::size_t at = line > 1 ? line - 2 : 0;
+         at < line + 1 && at < lint.view.lines.size(); ++at) {
+      const std::string& raw = lint.view.lines[at];
+      if (raw.find("checkedMul") != std::string::npos ||
+          raw.find("checkedAdd") != std::string::npos ||
+          raw.find("static_cast<double>") != std::string::npos ||
+          raw.find("double") != std::string::npos) {
+        escaped = true;
+        break;
+      }
+    }
+    if (escaped) continue;
+    lint.report("DSL005", tokens[i].line, tokens[i].column,
+                "unchecked '" + tokens[i].text + "' between model-size "
+                    "expressions ('" + left + "' " + tokens[i].text + " '" +
+                    right + "'); integer width*time*count products overflow "
+                    "2^63 on large traces — use util::checkedMul / "
+                    "util::checkedAdd (util/checked.hpp)");
+  }
+}
+
+// DSL006 — all randomness flows through the deterministic util::Rng.
+void checkRawRandomness(const FileLint& lint) {
+  if (pathHas(lint.path, "util/rng.")) return;
+  static const std::set<std::string> kStdRandom = {
+      "random_device",       "mt19937",
+      "mt19937_64",          "default_random_engine",
+      "minstd_rand",         "uniform_int_distribution",
+      "uniform_real_distribution", "normal_distribution",
+      "bernoulli_distribution"};
+  for (std::size_t i = 0; i < lint.tokens.size(); ++i) {
+    const Token& token = lint.tokens[i];
+    if (token.kind != Token::Kind::Ident) continue;
+    const bool cRand = (token.text == "rand" || token.text == "srand") &&
+                       i + 1 < lint.tokens.size() &&
+                       lint.tokens[i + 1].text == "(" &&
+                       !(i > 0 && (lint.tokens[i - 1].text == "." ||
+                                   lint.tokens[i - 1].text == "->" ||
+                                   lint.tokens[i - 1].text == "::"));
+    const bool stdRandom =
+        kStdRandom.count(token.text) > 0 && isStdQualified(lint.tokens, i);
+    if (!cRand && !stdRandom) continue;
+    lint.report("DSL006", token.line, token.column,
+                "raw randomness (" + token.text +
+                    ") outside util/rng; use util::Rng — std:: distribution "
+                    "output is implementation-defined, and benches must be "
+                    "bit-reproducible everywhere");
+  }
+}
+
+// DSL007 — a catch-all that never rethrows swallows the error.
+void checkCatchAllDrops(const FileLint& lint) {
+  const std::vector<Token>& tokens = lint.tokens;
+  for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
+    if (tokens[i].text != "catch" || tokens[i + 1].text != "(" ||
+        tokens[i + 2].text != "..." || tokens[i + 3].text != ")" ||
+        tokens[i + 4].text != "{") {
+      continue;
+    }
+    std::size_t j = i + 5;
+    int depth = 1;
+    bool rethrows = false;
+    for (; j < tokens.size() && depth > 0; ++j) {
+      if (tokens[j].text == "{") ++depth;
+      if (tokens[j].text == "}") --depth;
+      // `throw;` rethrows in place; capturing via std::current_exception()
+      // preserves the error for a deferred std::rethrow_exception — both
+      // keep the failure alive, which is all this rule demands.
+      if (tokens[j].kind == Token::Kind::Ident &&
+          (tokens[j].text == "throw" ||
+           tokens[j].text == "current_exception" ||
+           tokens[j].text == "rethrow_exception")) {
+        rethrows = true;
+      }
+    }
+    if (rethrows) continue;
+    lint.report("DSL007", tokens[i].line, tokens[i].column,
+                "catch (...) whose handler never rethrows — the error is "
+                "silently dropped; rethrow after cleanup, or catch a "
+                "concrete type and surface a structured failure");
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& ruleCatalog() { return kRules; }
+
+std::vector<Finding> lintFile(const std::string& path,
+                              std::string_view contents) {
+  const std::string normalized = normalizePath(path);
+  const SourceView view = preprocess(contents);
+  const std::vector<Token> tokens = tokenize(view.code);
+  std::vector<Finding> findings;
+  const FileLint lint{normalized, view, tokens, findings};
+  checkSuppressions(lint);
+  checkRawSyncTypes(lint);
+  checkUnguardedMutex(lint);
+  checkRawThreads(lint);
+  checkRawFileWrites(lint);
+  checkUncheckedSizeArith(lint);
+  checkRawRandomness(lint);
+  checkCatchAllDrops(lint);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.column != b.column) return a.column < b.column;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+namespace {
+
+bool lintableFile(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+void collectFiles(const std::filesystem::path& root,
+                  std::vector<std::filesystem::path>& files,
+                  std::vector<std::string>& errors) {
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(root, ec)) {
+    files.push_back(root);
+    return;
+  }
+  if (!std::filesystem::is_directory(root, ec)) {
+    errors.push_back("no such file or directory: " + root.string());
+    return;
+  }
+  auto it = std::filesystem::recursive_directory_iterator(
+      root, std::filesystem::directory_options::skip_permission_denied, ec);
+  if (ec) {
+    errors.push_back("cannot walk " + root.string() + ": " + ec.message());
+    return;
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() &&
+        (name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.'))) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (entry.is_regular_file() && lintableFile(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+}
+
+}  // namespace
+
+LintResult lintPaths(const std::vector<std::string>& paths) {
+  LintResult result;
+  std::vector<std::filesystem::path> files;
+  for (const std::string& path : paths) {
+    collectFiles(path, files, result.errors);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      result.errors.push_back("cannot read " + file.string());
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    ++result.filesScanned;
+    std::vector<Finding> findings =
+        lintFile(file.generic_string(), contents.str());
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  return result;
+}
+
+std::string renderText(const LintResult& result) {
+  std::ostringstream os;
+  for (const Finding& finding : result.findings) {
+    os << finding.file << ':' << finding.line << ':' << finding.column << ": "
+       << finding.rule << ": " << finding.message << '\n';
+    if (!finding.snippet.empty()) {
+      os << "    | " << finding.snippet << '\n';
+    }
+  }
+  for (const std::string& error : result.errors) {
+    os << "dynsched-lint: error: " << error << '\n';
+  }
+  os << "dynsched-lint: " << result.findings.size() << " finding"
+     << (result.findings.size() == 1 ? "" : "s") << " in "
+     << result.filesScanned << " file"
+     << (result.filesScanned == 1 ? "" : "s") << " scanned\n";
+  return os.str();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& text) {
+  std::ostringstream os;
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string renderJson(const LintResult& result) {
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& finding : result.findings) ++counts[finding.rule];
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"dynsched-lint\",\n  \"version\": 1,\n"
+     << "  \"filesScanned\": " << result.filesScanned << ",\n"
+     << "  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& finding = result.findings[i];
+    os << (i > 0 ? "," : "") << "\n    {\"file\": \""
+       << jsonEscape(finding.file) << "\", \"line\": " << finding.line
+       << ", \"column\": " << finding.column << ", \"rule\": \""
+       << finding.rule << "\", \"message\": \"" << jsonEscape(finding.message)
+       << "\", \"snippet\": \"" << jsonEscape(finding.snippet) << "\"}";
+  }
+  os << (result.findings.empty() ? "" : "\n  ") << "],\n  \"counts\": {";
+  std::size_t i = 0;
+  for (const auto& [rule, count] : counts) {
+    os << (i++ > 0 ? ", " : "") << '"' << rule << "\": " << count;
+  }
+  os << "},\n  \"errors\": [";
+  for (std::size_t j = 0; j < result.errors.size(); ++j) {
+    os << (j > 0 ? ", " : "") << '"' << jsonEscape(result.errors[j]) << '"';
+  }
+  os << "],\n  \"total\": " << result.findings.size() << "\n}\n";
+  return os.str();
+}
+
+}  // namespace dynsched::lint

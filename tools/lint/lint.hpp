@@ -1,0 +1,86 @@
+// dynsched-lint — project-rule linter for the dynsched tree.
+//
+// A token/line-level scanner (no libclang) that enforces the project rules
+// the generic tools cannot express — which primitives are allowed where.
+// Generic analyzers know what a data race is; only the project knows that
+// every mutex must be a capability-annotated util::Mutex, that threads are
+// only spawned by util::ThreadPool, or that files are only written through
+// util::atomicWriteFile. Each rule has a stable ID, a structured finding,
+// and a suppression syntax:
+//
+//   // dynsched-lint: allow(DSL004) reason why this raw write is correct
+//
+// on the offending line or the line directly above. A suppression without a
+// reason is itself a finding (DSL000) — "trust me" is not a reason.
+//
+// Rules (scoping paths are substring matches on /-normalized paths):
+//   DSL000  malformed suppression (unknown rule ID or missing reason)
+//   DSL001  raw std::mutex / condition_variable / lock types outside
+//           util/mutex.hpp — use util::Mutex/MutexLock/CondVar so
+//           -Wthread-safety sees the capability
+//   DSL002  util::Mutex declared without any DYNSCHED_GUARDED_BY(<name>)
+//           field in the same file — a capability that guards nothing
+//   DSL003  std::thread / pthread_create outside util/thread_pool — all
+//           parallelism goes through the pool (shutdown, draining, joining)
+//   DSL004  raw file writes (std::ofstream / fopen) outside
+//           util/journal.cpp and lp/mps_writer — route through
+//           util::atomicWriteFile (crash-safe temp+rename)
+//   DSL005  unchecked * or + between model-size expressions in tip/, lp/,
+//           mip/ — route through util::checkedMul/checkedAdd (2^63
+//           overflow on width·time·count products is UB)
+//   DSL006  rand()/srand()/std:: random machinery outside util/rng —
+//           benches must be bit-reproducible across standard libraries
+//   DSL007  catch (...) whose handler neither rethrows nor captures the
+//           exception (std::current_exception) — errors must not be
+//           silently dropped
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynsched::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;    ///< 1-based
+  std::size_t column = 0;  ///< 1-based
+  std::string rule;        ///< "DSL001" ... "DSL007", "DSL000"
+  std::string message;
+  std::string snippet;     ///< the offending source line, whitespace-trimmed
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Stable rule catalog (for --list-rules and the docs).
+const std::vector<RuleInfo>& ruleCatalog();
+
+/// Lints one in-memory file. `path` selects which rules apply (scoping is
+/// substring-based on the /-normalized path) and labels the findings.
+std::vector<Finding> lintFile(const std::string& path,
+                              std::string_view contents);
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::size_t filesScanned = 0;
+  /// I/O problems (unreadable file, missing path) — distinct from findings;
+  /// any entry here makes the run fail with exit 2, not 1.
+  std::vector<std::string> errors;
+};
+
+/// Lints files and directories (recursively; *.cpp/*.cc/*.hpp/*.h, hidden
+/// and build*/ directories skipped). Findings are sorted by file/line.
+LintResult lintPaths(const std::vector<std::string>& paths);
+
+/// "file:line:col: RULE: message" lines plus a summary tail.
+std::string renderText(const LintResult& result);
+
+/// Machine-readable report: {tool, version, filesScanned, findings: [{file,
+/// line, column, rule, message, snippet}], counts: {RULE: n}, total}.
+std::string renderJson(const LintResult& result);
+
+}  // namespace dynsched::lint
