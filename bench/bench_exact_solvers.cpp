@@ -8,6 +8,7 @@
 // policy value, the scaled-ILP value (the paper's pipeline) and the true
 // second-precision optimum, with solve times — quantifying how much of the
 // optimality gap the time-scaling heuristic gives away.
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include "dynsched/tip/study.hpp"
 #include "dynsched/tip/supervised.hpp"
 #include "dynsched/trace/synthetic.hpp"
+#include "dynsched/util/alloc_tracker.hpp"
 #include "dynsched/util/flags.hpp"
 #include "dynsched/util/journal.hpp"
 #include "dynsched/util/strings.hpp"
@@ -46,6 +48,12 @@ struct StepRecord {
   bool exactOptimal = false;
   double ilpSeconds = 0;
   double exactSeconds = 0;
+  // Allocation counters for the step's solves (both solvers), from
+  // util::allocStats() deltas; all zero when the binary was built without
+  // DYNSCHED_ALLOC_TRACK.
+  std::uint64_t allocCount = 0;
+  std::uint64_t allocBytes = 0;
+  std::uint64_t peakBytes = 0;
 };
 
 }  // namespace
@@ -97,6 +105,9 @@ int main(int argc, char** argv) {
   std::size_t budgetHits = 0;
   std::vector<StepRecord> records;
   for (const auto& snap : selected) {
+    // Allocation window: both solves plus their model builds. Reset here,
+    // read after the exact solve — the deltas are the step's counters.
+    util::resetAllocStats();
     // The paper's pipeline: Eq. 6 scaled ILP + compaction.
     tip::StudyOptions study;
     study.scaling.totalMemoryBytes = 256ULL << 20;
@@ -114,6 +125,7 @@ int main(int argc, char** argv) {
                                           inst.history.machineSize());
     const double exactSld =
         evaluator.evaluate(exact.schedule, core::MetricKind::SldWA);
+    const util::AllocStats stepAllocs = util::allocStats();
     const double trueLoss = (1.0 - exactSld / row.policyValue) * 100.0;
     sumScaled += row.perfLossPct;
     sumTrue += trueLoss;
@@ -156,6 +168,9 @@ int main(int argc, char** argv) {
     record.exactOptimal = exact.optimal;
     record.ilpSeconds = row.solveSeconds;
     record.exactSeconds = exact.seconds;
+    record.allocCount = stepAllocs.allocCount;
+    record.allocBytes = stepAllocs.allocBytes;
+    record.peakBytes = stepAllocs.peakBytes;
     records.push_back(record);
   }
   std::cout << table.render();
@@ -180,6 +195,7 @@ int main(int argc, char** argv) {
     // instance moved. The host block scopes the wall-clock comparison.
     long ilpNodes = 0, exactNodes = 0, lpRowsTotal = 0, lpColsTotal = 0;
     double ilpSeconds = 0, exactSeconds = 0;
+    std::uint64_t allocCount = 0, allocBytes = 0, peakBytes = 0;
     for (const StepRecord& r : records) {
       ilpNodes += r.ilpNodes;
       exactNodes += r.exactNodes;
@@ -187,6 +203,9 @@ int main(int argc, char** argv) {
       lpColsTotal += r.lpColumns;
       ilpSeconds += r.ilpSeconds;
       exactSeconds += r.exactSeconds;
+      allocCount += r.allocCount;
+      allocBytes += r.allocBytes;
+      peakBytes = std::max(peakBytes, r.peakBytes);
     }
     const auto num = [](double v) {
       char out[64];
@@ -194,7 +213,10 @@ int main(int argc, char** argv) {
       return std::string(out);
     };
     std::ostringstream json;
-    json << "{\n  \"bench\": \"bench_exact_solvers\",\n  \"config\": {"
+    json << "{\n  \"bench\": \"bench_exact_solvers\",\n"
+         << "  \"schemaVersion\": 2,\n  \"allocTracking\": "
+         << (util::allocTrackingEnabled() ? "true" : "false") << ",\n"
+         << "  \"config\": {"
          << "\"traceJobs\": " << traceJobs << ", \"seed\": " << seed
          << ", \"steps\": " << steps << ", \"maxNodes\": " << maxNodes
          << ", \"timeLimitSeconds\": " << num(timeLimit) << "},\n"
@@ -214,7 +236,10 @@ int main(int argc, char** argv) {
            << ", \"exactNodes\": " << r.exactNodes
            << ", \"exactOptimal\": " << (r.exactOptimal ? "true" : "false")
            << ", \"ilpSeconds\": " << num(r.ilpSeconds)
-           << ", \"exactSeconds\": " << num(r.exactSeconds) << "}";
+           << ", \"exactSeconds\": " << num(r.exactSeconds)
+           << ", \"allocCount\": " << r.allocCount
+           << ", \"allocBytes\": " << r.allocBytes
+           << ", \"peakBytes\": " << r.peakBytes << "}";
     }
     json << "\n  ],\n  \"totals\": {"
          << "\"steps\": " << records.size()
@@ -227,7 +252,10 @@ int main(int argc, char** argv) {
          << ", \"avgTrueLossPct\": "
          << num(rows > 0 ? sumTrue / static_cast<double>(rows) : 0)
          << ", \"ilpSeconds\": " << num(ilpSeconds)
-         << ", \"exactSeconds\": " << num(exactSeconds) << "}\n}\n";
+         << ", \"exactSeconds\": " << num(exactSeconds)
+         << ", \"allocCount\": " << allocCount
+         << ", \"allocBytes\": " << allocBytes
+         << ", \"peakBytes\": " << peakBytes << "}\n}\n";
     try {
       util::atomicWriteFile(jsonPath, json.str());
     } catch (const util::JournalError& e) {

@@ -4,6 +4,7 @@ baseline (BENCH_exact.json) and fail on regressions.
 
 Usage: bench_check.py BASELINE CURRENT [--tolerance 0.20]
                                        [--time-tolerance 0.50]
+       bench_check.py --self-test
 
 What is gated, and why:
   * Deterministic counters (total B&B nodes for the scaled ILP and the order
@@ -12,6 +13,11 @@ What is gated, and why:
     bit-reproducible on every host, so any growth is a real algorithmic
     regression, not noise. Shrinking is reported as an improvement (rerun
     the baseline to bank it), never failed.
+  * Allocation counters (allocCount/allocBytes/peakBytes, schema v2) gate
+    the same way when BOTH reports were produced with allocation tracking
+    (allocTracking true). A baseline without them (schema v1) is accepted
+    with a note; a current report without tracking skips the allocation
+    gate loudly.
   * Solution quality (avgScaledLossPct / avgTrueLossPct) must match to a
     tight tolerance — the counters moving is suspicious, the answer moving
     is wrong.
@@ -20,7 +26,11 @@ What is gated, and why:
     cross-host timing comparisons are meaningless and are skipped loudly.
 
 The two reports must come from the same pinned scenario (config block);
-comparing different scenarios is a usage error (exit 2), not a pass.
+comparing different scenarios is a usage error (exit 2), not a pass. All
+usage errors — unreadable file, malformed JSON, non-object report, a
+schemaVersion newer than this script understands — are reported as one
+structured line on stderr (`bench_check: ERROR <what>: <detail>`) with
+exit 2, never a traceback.
 
 Exit codes: 0 ok, 1 regression, 2 usage/config mismatch.
 """
@@ -30,39 +40,54 @@ import json
 import sys
 
 COUNTERS = ("ilpNodes", "exactNodes", "lpRows", "lpColumns")
+ALLOC_COUNTERS = ("allocCount", "allocBytes", "peakBytes")
 VALUES = ("avgScaledLossPct", "avgTrueLossPct")
 SECONDS = ("ilpSeconds", "exactSeconds")
 VALUE_TOLERANCE = 1e-4  # quality values are deterministic; allow fp dust
+MAX_SCHEMA_VERSION = 2  # v1 reports predate the alloc counters
+
+
+class UsageError(Exception):
+    """Structured exit-2 failure: `what` names the stage, `detail` the cause."""
+
+    def __init__(self, what, detail):
+        super().__init__(f"{what}: {detail}")
+        self.what = what
+        self.detail = detail
 
 
 def load(path):
     try:
         with open(path, encoding="utf-8") as handle:
-            return json.load(handle)
-    except (OSError, ValueError) as error:
-        sys.exit(f"bench_check: cannot read {path}: {error}")
+            text = handle.read()
+    except OSError as error:
+        raise UsageError(f"cannot read {path}", error.strerror or str(error))
+    try:
+        report = json.loads(text)
+    except ValueError as error:
+        raise UsageError(f"malformed JSON in {path}", str(error))
+    if not isinstance(report, dict):
+        raise UsageError(f"malformed report {path}",
+                         f"expected a JSON object, got {type(report).__name__}")
+    version = report.get("schemaVersion", 1)
+    if not isinstance(version, int) or version < 1:
+        raise UsageError(f"malformed report {path}",
+                         f"schemaVersion must be a positive int, got {version!r}")
+    if version > MAX_SCHEMA_VERSION:
+        raise UsageError(
+            f"unsupported schema in {path}",
+            f"schemaVersion {version} is newer than this script "
+            f"(max {MAX_SCHEMA_VERSION}); update scripts/bench_check.py")
+    return report
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="bench_exact_solvers baseline regression gate")
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed relative counter growth (default 0.20)")
-    parser.add_argument("--time-tolerance", type=float, default=0.50,
-                        help="allowed relative wall-clock growth on a "
-                             "matching host (default 0.50)")
-    args = parser.parse_args()
-
-    base = load(args.baseline)
-    cur = load(args.current)
-
+def compare(base, cur, tolerance, time_tolerance):
+    """Returns (failures, notes); raises UsageError on config mismatch."""
     if base.get("config") != cur.get("config"):
-        print(f"bench_check: config mismatch — baseline {base.get('config')}"
-              f" vs current {cur.get('config')}; rerun the bench with the"
-              " baseline's pinned scenario", file=sys.stderr)
-        return 2
+        raise UsageError(
+            "config mismatch",
+            f"baseline {base.get('config')} vs current {cur.get('config')}; "
+            "rerun the bench with the baseline's pinned scenario")
 
     base_totals = base.get("totals", {})
     cur_totals = cur.get("totals", {})
@@ -74,24 +99,44 @@ def main():
             f"steps solved changed: {base_totals.get('steps')} -> "
             f"{cur_totals.get('steps')}")
 
-    for key in COUNTERS:
+    def gate_counter(key, required):
         old, new = base_totals.get(key), cur_totals.get(key)
         if old is None or new is None:
-            failures.append(f"{key}: missing from report")
-            continue
+            if required:
+                failures.append(f"{key}: missing from report")
+            return
         if old == 0:
             if new != 0:
                 failures.append(f"{key}: baseline 0, current {new}")
-            continue
+            return
         rel = (new - old) / old
         line = f"{key}: {old} -> {new} ({rel:+.1%})"
-        if rel > args.tolerance:
-            failures.append(line + f" exceeds +{args.tolerance:.0%}")
-        elif rel < -args.tolerance:
+        if rel > tolerance:
+            failures.append(line + f" exceeds +{tolerance:.0%}")
+        elif rel < -tolerance:
             notes.append(line + " — improvement; rerun scripts/check.sh "
                                 "--rebaseline-bench to bank it")
         else:
             notes.append(line)
+
+    for key in COUNTERS:
+        gate_counter(key, required=True)
+
+    base_tracked = bool(base.get("allocTracking"))
+    cur_tracked = bool(cur.get("allocTracking"))
+    if base_tracked and cur_tracked:
+        for key in ALLOC_COUNTERS:
+            gate_counter(key, required=True)
+    elif base_tracked:
+        notes.append("current report lacks allocation tracking "
+                     "(build with -DDYNSCHED_ALLOC_TRACK=ON) — "
+                     "allocation gate skipped")
+    elif cur_tracked:
+        notes.append("baseline predates allocation tracking — allocation "
+                     "counters reported but not gated; rebaseline to arm them")
+    else:
+        notes.append("allocation tracking off in both reports — "
+                     "allocation gate skipped")
 
     for key in VALUES:
         old, new = base_totals.get(key), cur_totals.get(key)
@@ -110,13 +155,156 @@ def main():
                 continue
             rel = (new - old) / old
             line = f"{key}: {old:.2f}s -> {new:.2f}s ({rel:+.1%})"
-            if rel > args.time_tolerance:
-                failures.append(line + f" exceeds +{args.time_tolerance:.0%}")
+            if rel > time_tolerance:
+                failures.append(line + f" exceeds +{time_tolerance:.0%}")
             else:
                 notes.append(line)
     else:
         notes.append(f"host differs ({base.get('host')} vs {cur.get('host')})"
                      " — wall-clock comparison skipped, counters still gate")
+
+    return failures, notes
+
+
+# --- self-test ---------------------------------------------------------------
+
+def _report(counters=None, alloc=None, config="pinned", host="h1",
+            schema=None, tracking=None):
+    totals = {"steps": 3, "ilpNodes": 100, "exactNodes": 50, "lpRows": 10,
+              "lpColumns": 20, "avgScaledLossPct": 0.5, "avgTrueLossPct": 0.25,
+              "ilpSeconds": 1.0, "exactSeconds": 2.0}
+    totals.update(counters or {})
+    report = {"config": config, "host": host, "totals": totals}
+    if alloc is not None:
+        report["allocTracking"] = True
+        totals.update(alloc)
+    if tracking is not None:
+        report["allocTracking"] = tracking
+    if schema is not None:
+        report["schemaVersion"] = schema
+    return report
+
+
+def self_test():
+    import copy
+    import os
+    import tempfile
+
+    checks = []
+
+    def check(name, condition):
+        status = "PASSED" if condition else "FAILED"
+        checks.append((name, condition))
+        print(f"bench_check self-test: {name} ... {status}")
+
+    base = _report()
+    check("identical reports pass",
+          compare(base, copy.deepcopy(base), 0.20, 0.50)[0] == [])
+
+    grown = _report(counters={"ilpNodes": 130})
+    check("counter growth past tolerance fails",
+          any("ilpNodes" in f for f in compare(base, grown, 0.20, 0.50)[0]))
+
+    shrunk = _report(counters={"ilpNodes": 50})
+    failures, notes = compare(base, shrunk, 0.20, 0.50)
+    check("counter shrink is an improvement note, not a failure",
+          failures == [] and any("improvement" in n for n in notes))
+
+    alloc_base = _report(alloc={"allocCount": 1000, "allocBytes": 8000,
+                                "peakBytes": 4000}, schema=2)
+    alloc_grown = _report(alloc={"allocCount": 1300, "allocBytes": 8000,
+                                 "peakBytes": 4000}, schema=2)
+    check("allocCount growth past tolerance fails",
+          any("allocCount" in f
+              for f in compare(alloc_base, alloc_grown, 0.20, 0.50)[0]))
+
+    untracked = _report(schema=2, tracking=False)
+    failures, notes = compare(alloc_base, untracked, 0.20, 0.50)
+    check("untracked current skips the allocation gate with a note",
+          failures == [] and any("allocation gate skipped" in n for n in notes))
+
+    failures, notes = compare(base, alloc_grown, 0.20, 0.50)
+    check("v1 baseline accepts v2 current without gating allocs",
+          failures == [] and any("rebaseline" in n for n in notes))
+
+    moved = _report(counters={"avgTrueLossPct": 0.30})
+    check("solution-quality drift fails",
+          any("quality moved" in f for f in compare(base, moved, 0.20, 0.50)[0]))
+
+    try:
+        compare(base, _report(config="other"), 0.20, 0.50)
+        check("config mismatch raises", False)
+    except UsageError:
+        check("config mismatch raises", True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        missing = os.path.join(tmp, "missing.json")
+        try:
+            load(missing)
+            check("missing file is a structured error", False)
+        except UsageError as error:
+            check("missing file is a structured error",
+                  "cannot read" in error.what)
+
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        try:
+            load(bad)
+            check("malformed JSON is a structured error", False)
+        except UsageError as error:
+            check("malformed JSON is a structured error",
+                  "malformed JSON" in error.what)
+
+        future = os.path.join(tmp, "future.json")
+        with open(future, "w", encoding="utf-8") as handle:
+            json.dump(_report(schema=99), handle)
+        try:
+            load(future)
+            check("future schemaVersion is a structured error", False)
+        except UsageError as error:
+            check("future schemaVersion is a structured error",
+                  "unsupported schema" in error.what)
+
+    failed = [name for name, ok in checks if not ok]
+    if failed:
+        print(f"bench_check self-test: {len(failed)}/{len(checks)} FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"bench_check self-test: {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bench_exact_solvers baseline regression gate")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative counter growth (default 0.20)")
+    parser.add_argument("--time-tolerance", type=float, default=0.50,
+                        help="allowed relative wall-clock growth on a "
+                             "matching host (default 0.50)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        print("bench_check: ERROR usage: bench_check.py BASELINE CURRENT "
+              "(or --self-test)", file=sys.stderr)
+        return 2
+
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+        failures, notes = compare(base, cur, args.tolerance,
+                                  args.time_tolerance)
+    except UsageError as error:
+        print(f"bench_check: ERROR {error.what}: {error.detail}",
+              file=sys.stderr)
+        return 2
 
     for note in notes:
         print(f"bench_check: {note}")

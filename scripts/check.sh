@@ -2,9 +2,11 @@
 # Correctness driver: runs the full ctest suite under ASan/UBSan and TSan
 # with the schedule audit enabled, builds src/ under the curated .clang-tidy
 # gate and under Clang's -Wthread-safety capability analysis, runs the
-# dynsched-lint project-rule linter, fuzzes the parser harnesses for a fixed
-# 30-second budget each, and replays the pinned bench_exact_solvers scenario
-# against the committed BENCH_exact.json baseline. Exits non-zero on any
+# dynsched-lint project-rule linter (including the DSL1xx hot-path
+# performance rules), fuzzes the parser harnesses for a fixed 30-second
+# budget each, and replays the pinned bench_exact_solvers scenario — with
+# allocation tracking compiled in — against the committed BENCH_exact.json
+# baseline, counters and allocation totals both. Exits non-zero on any
 # failure; missing required tools fail fast instead of silently skipping a
 # gate.
 #
@@ -64,13 +66,17 @@ run_mode() {
 
 FAILED=""
 
+# build-plain doubles as the bench build; allocation tracking is compiled in
+# so the replayed scenario carries the alloc counters the baseline gates on.
+PLAIN_FLAGS=(-DDYNSCHED_WERROR=ON -DDYNSCHED_ALLOC_TRACK=ON)
+
 if ! skip lint; then
   # dynsched-lint first: it is the cheapest gate and its findings (a raw
   # std::mutex, an unguarded write) usually explain later failures. The
   # linter deliberately links nothing from src/, so this builds even when
   # the tree under scan does not.
   echo "=== [lint] dynsched-lint over src/ and tools/ ==="
-  cmake -B build-plain -S . -DDYNSCHED_WERROR=ON > build-plain.cmake.log 2>&1 \
+  cmake -B build-plain -S . "${PLAIN_FLAGS[@]}" > build-plain.cmake.log 2>&1 \
     || { cat build-plain.cmake.log; FAILED="$FAILED lint"; }
   if [[ " $FAILED " != *" lint "* ]]; then
     cmake --build build-plain -j "$JOBS" --target dynsched_lint \
@@ -84,7 +90,10 @@ if ! skip asan; then
 fi
 
 if ! skip tsan; then
-  run_mode tsan -DDYNSCHED_SANITIZE=thread || FAILED="$FAILED tsan"
+  # Allocation tracking is compiled in here so TSan watches the counting
+  # hooks too (alloc_tracker_test's ThreadPool test races them on purpose).
+  run_mode tsan -DDYNSCHED_SANITIZE=thread -DDYNSCHED_ALLOC_TRACK=ON \
+    || FAILED="$FAILED tsan"
 fi
 
 if ! skip faults; then
@@ -234,12 +243,29 @@ if ! skip bench; then
   # scenario here must match the baseline's config block exactly.
   BENCH_SCENARIO=(--trace-jobs 700 --seed 44 --steps 3 --max-nodes 600
                   --time-limit 1000000)
+  echo "=== [bench] bench_check.py self-test ==="
+  python3 scripts/bench_check.py --self-test || FAILED="$FAILED bench"
   echo "=== [bench] bench_exact_solvers baseline ==="
-  cmake -B build-plain -S . -DDYNSCHED_WERROR=ON > build-plain.cmake.log 2>&1 \
+  cmake -B build-plain -S . "${PLAIN_FLAGS[@]}" > build-plain.cmake.log 2>&1 \
     || { cat build-plain.cmake.log; FAILED="$FAILED bench"; }
   if [[ " $FAILED " != *" bench "* ]]; then
     cmake --build build-plain -j "$JOBS" --target bench_exact_solvers \
       || FAILED="$FAILED bench"
+  fi
+  if [[ " $FAILED " != *" bench "* ]]; then
+    # The alloc hooks must stay out of binaries built without the option.
+    # When tracking is on, the binary *defines* global operator new (a 'T'
+    # symbol); a default-configured binary must only import it from
+    # libstdc++ ('U'). Zero-overhead-when-off, checked at the symbol level.
+    if [[ -x build/bench/bench_exact_solvers ]] \
+        && command -v nm > /dev/null 2>&1; then
+      if nm -C build/bench/bench_exact_solvers 2>/dev/null \
+          | grep -Eq "^[0-9a-f]+ T operator new\(unsigned long\)"; then
+        echo "bench: replaced operator new leaked into a default" \
+             "(DYNSCHED_ALLOC_TRACK=OFF) binary" >&2
+        FAILED="$FAILED bench"
+      fi
+    fi
   fi
   if [[ " $FAILED " != *" bench "* ]]; then
     if build-plain/bench/bench_exact_solvers "${BENCH_SCENARIO[@]}" \

@@ -17,9 +17,12 @@ bool DenseBasis::factorize(
     const std::function<void(int, std::vector<double>&)>& writeColumn) {
   const std::size_t m = static_cast<std::size_t>(m_);
   // Build B column by column, then run Gauss-Jordan with partial pivoting on
-  // the augmented [B | I], leaving B^{-1} in place of I.
-  std::vector<double> mat(m * m, 0.0);  // row-major B
-  std::vector<double> col(m, 0.0);
+  // the augmented [B | I], leaving B^{-1} in place of I. The work buffers
+  // are members: assign() reuses their capacity on refactorizations.
+  std::vector<double>& mat = factorMat_;  // row-major B
+  mat.assign(m * m, 0.0);
+  std::vector<double>& col = factorCol_;
+  col.assign(m, 0.0);
   for (int k = 0; k < m_; ++k) {
     std::fill(col.begin(), col.end(), 0.0);
     writeColumn(k, col);
@@ -30,7 +33,8 @@ bool DenseBasis::factorize(
   std::fill(inv_.begin(), inv_.end(), 0.0);
   for (std::size_t i = 0; i < m; ++i) inv_[i * m + i] = 1.0;
 
-  std::vector<int> rowOrder(m);
+  std::vector<int>& rowOrder = rowOrder_;
+  rowOrder.resize(m);
   for (std::size_t i = 0; i < m; ++i) rowOrder[i] = static_cast<int>(i);
 
   for (std::size_t k = 0; k < m; ++k) {
@@ -67,12 +71,13 @@ bool DenseBasis::factorize(
   }
   // Undo the row permutation: after elimination, row rowOrder[k] holds the
   // k-th row of B^{-1} (since we permuted implicitly). Rebuild in order.
-  std::vector<double> ordered(m * m);
+  factorOrdered_.resize(m * m);
   for (std::size_t k = 0; k < m; ++k) {
-    std::memcpy(&ordered[k * m], &inv_[static_cast<std::size_t>(rowOrder[k]) * m],
+    std::memcpy(&factorOrdered_[k * m],
+                &inv_[static_cast<std::size_t>(rowOrder[k]) * m],
                 m * sizeof(double));
   }
-  inv_.swap(ordered);
+  inv_.swap(factorOrdered_);
   updates_ = 0;
   return true;
 }
@@ -80,27 +85,29 @@ bool DenseBasis::factorize(
 void DenseBasis::ftran(std::vector<double>& rhs) const {
   const std::size_t m = static_cast<std::size_t>(m_);
   DYNSCHED_CHECK(rhs.size() == m);
-  std::vector<double> out(m, 0.0);
+  // Swap-with-scratch instead of a fresh vector: after the swap both
+  // buffers stay size m, so steady-state ftran allocates nothing.
+  scratch_.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
     const double* row = &inv_[i * m];
     double sum = 0;
     for (std::size_t j = 0; j < m; ++j) sum += row[j] * rhs[j];
-    out[i] = sum;
+    scratch_[i] = sum;
   }
-  rhs.swap(out);
+  rhs.swap(scratch_);
 }
 
 void DenseBasis::btran(std::vector<double>& rhs) const {
   const std::size_t m = static_cast<std::size_t>(m_);
   DYNSCHED_CHECK(rhs.size() == m);
-  std::vector<double> out(m, 0.0);
+  scratch_.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
     const double v = rhs[i];
     if (v == 0.0) continue;
     const double* row = &inv_[i * m];
-    for (std::size_t j = 0; j < m; ++j) out[j] += row[j] * v;
+    for (std::size_t j = 0; j < m; ++j) scratch_[j] += row[j] * v;
   }
-  rhs.swap(out);
+  rhs.swap(scratch_);
 }
 
 void DenseBasis::update(const std::vector<double>& alpha, int pos) {

@@ -23,10 +23,13 @@ class DenseBasis {
   bool factorize(
       const std::function<void(int, std::vector<double>&)>& writeColumn);
 
-  /// rhs := B^{-1} rhs (forward transformation).
+  /// rhs := B^{-1} rhs (forward transformation). Not reentrant: uses the
+  /// basis's scratch buffer, so concurrent calls on one DenseBasis race
+  /// (each simplex owns its basis, so this never happens in-tree).
   void ftran(std::vector<double>& rhs) const;
 
-  /// rhs := B^{-T} rhs (backward transformation).
+  /// rhs := B^{-T} rhs (backward transformation). Same reentrancy caveat
+  /// as ftran().
   void btran(std::vector<double>& rhs) const;
 
   /// Product-form update after a pivot: basis column `pos` is replaced by
@@ -40,6 +43,14 @@ class DenseBasis {
  private:
   int m_;
   std::vector<double> inv_;  ///< row-major m×m
+  // Reused work buffers: ftran/btran run once per simplex iteration and
+  // factorize every few dozen pivots, so per-call vectors would dominate
+  // the solver's allocation count.
+  mutable std::vector<double> scratch_;   ///< ftran/btran output row
+  std::vector<double> factorMat_;         ///< factorize: row-major B
+  std::vector<double> factorCol_;         ///< factorize: one basis column
+  std::vector<double> factorOrdered_;     ///< factorize: permuted inverse
+  std::vector<int> rowOrder_;             ///< factorize: pivot permutation
   int updates_ = 0;
 };
 

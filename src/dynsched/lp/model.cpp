@@ -44,7 +44,7 @@ void LpModel::addEntry(int row, int col, double value) {
 
 int LpModel::addRow(double lb, double ub,
                     const std::vector<std::pair<int, double>>& entries,
-                    std::string name) {
+                    const std::string& name) {
   const int row = addRow(lb, ub, name.c_str());
   for (const auto& [col, value] : entries) addEntry(row, col, value);
   return row;

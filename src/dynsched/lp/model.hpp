@@ -43,7 +43,7 @@ class LpModel {
   /// Convenience: row with entries in one call.
   int addRow(double lb, double ub,
              const std::vector<std::pair<int, double>>& entries,
-             std::string name = {});
+             const std::string& name = {});
 
   int numVariables() const { return static_cast<int>(colLb_.size()); }
   int numRows() const { return static_cast<int>(rowLb_.size()); }

@@ -64,6 +64,9 @@ std::pair<double, double> rowBounds(const RowDef& row) {
 MpsProblem readMps(std::istream& in) {
   MpsProblem problem;
   std::vector<RowDef> rows;
+  // The stream format gives no row/column counts up front; seed enough
+  // capacity to absorb the doubling cascade for typical TIP instances.
+  rows.reserve(256);
   std::map<std::string, int, std::less<>> rowIndex;
   std::vector<ColDef> cols;
   std::map<std::string, int, std::less<>> colIndex;
@@ -83,15 +86,17 @@ MpsProblem readMps(std::istream& in) {
     if (inserted) {
       cols.emplace_back();
       cols.back().name = name;
+      cols.back().entries.reserve(8);
     }
     return cols[static_cast<std::size_t>(it->second)];
   };
 
   std::string line;
+  std::vector<std::string> fields;  // reused across lines
   while (section != Section::Done && std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '*') continue;
-    const std::vector<std::string> fields = util::splitWhitespace(line);
+    util::splitWhitespaceInto(line, fields);
     if (fields.empty()) continue;
 
     if (line[0] != ' ' && line[0] != '\t') {  // section header
@@ -251,6 +256,7 @@ MpsProblem readMps(std::istream& in) {
                                               << "' has crossed bounds");
     row.modelRow = model.addRow(lo, hi, row.name.c_str());
   }
+  problem.integerColumns.reserve(cols.size());
   for (const ColDef& col : cols) {
     DYNSCHED_CHECK_MSG(col.lb <= col.ub, "MPS: column '"
                                              << col.name

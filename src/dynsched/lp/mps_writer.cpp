@@ -30,11 +30,16 @@ std::string rowName(const LpModel& model, int r) {
   return buf;
 }
 
-std::string colName(const LpModel& model, int j) {
-  if (!model.variableName(j).empty()) return model.variableName(j);
+/// Column name into a caller-owned string so per-column loops reuse
+/// capacity instead of building a fresh std::string each iteration.
+void colNameInto(const LpModel& model, int j, std::string& out) {
+  if (!model.variableName(j).empty()) {
+    out = model.variableName(j);
+    return;
+  }
   char buf[16];
-  std::snprintf(buf, sizeof(buf), "C%06d", j);
-  return buf;
+  const int len = std::snprintf(buf, sizeof(buf), "C%06d", j);
+  out.assign(buf, static_cast<std::size_t>(len));
 }
 
 /// Row type and RHS/RANGES representation of a two-sided row.
@@ -83,11 +88,12 @@ void writeMps(const LpModel& model, std::ostream& out,
         << (want ? "INTORG" : "INTEND") << "'\n";
     inIntegerBlock = want;
   };
+  std::string name;  // reused across columns
   for (int j = 0; j < model.numVariables(); ++j) {
     const bool isInt = !options.integerColumns.empty() &&
                        options.integerColumns[static_cast<std::size_t>(j)];
     setIntegerBlock(isInt);
-    const std::string name = colName(model, j);
+    colNameInto(model, j, name);
     // A column with no matrix entries still needs a COLUMNS line (even a
     // zero objective) or its name, position, and integrality marker would
     // be lost and a parse→write round trip would reorder columns.
@@ -123,7 +129,7 @@ void writeMps(const LpModel& model, std::ostream& out,
 
   out << "BOUNDS\n";
   for (int j = 0; j < model.numVariables(); ++j) {
-    const std::string name = colName(model, j);
+    colNameInto(model, j, name);
     const double lb = model.columnLower(j), ub = model.columnUpper(j);
     if (lb <= -kInf && ub >= kInf) {
       out << " FR BND  " << name << '\n';

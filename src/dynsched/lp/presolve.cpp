@@ -56,12 +56,15 @@ PresolveResult presolve(const LpModel& model, double tol) {
   }
 
   // Pass 2 (to fixed point): empty columns, empty rows, forcing rows.
+  // Row activity ranges over alive columns; both scratch vectors are
+  // hoisted out of the fixed-point loop and re-zeroed per sweep.
+  std::vector<ActivityRange> range(static_cast<std::size_t>(m));
+  std::vector<int> rowEntries(static_cast<std::size_t>(m), 0);
   bool changed = true;
   while (changed) {
     changed = false;
-    // Row activity ranges over alive columns.
-    std::vector<ActivityRange> range(static_cast<std::size_t>(m));
-    std::vector<int> rowEntries(static_cast<std::size_t>(m), 0);
+    std::fill(range.begin(), range.end(), ActivityRange{});
+    std::fill(rowEntries.begin(), rowEntries.end(), 0);
     for (int j = 0; j < n; ++j) {
       if (!colAlive[static_cast<std::size_t>(j)]) continue;
       const double lb = model.columnLower(j), ub = model.columnUpper(j);

@@ -120,6 +120,7 @@ class Simplex {
   std::vector<VarStatus> status_;
   std::vector<int> basisVars_;
   std::vector<double> xBasic_;
+  std::vector<double> rhsScratch_;  ///< computeBasicValues work buffer
   std::vector<double> artificialSign_;  ///< per row: +1 / −1
   std::vector<double> artificialLb_, artificialUb_;
   long refactorCount_ = 0;
@@ -134,8 +135,11 @@ bool Simplex::refactorize() {
 }
 
 void Simplex::computeBasicValues() {
-  // b = 0, so xB = −B^{-1} · Σ_{nonbasic j} A_j x_j.
-  std::vector<double> rhs(static_cast<std::size_t>(m_), 0.0);
+  // b = 0, so xB = −B^{-1} · Σ_{nonbasic j} A_j x_j. The rhs buffer is a
+  // member: this runs at every refactorization, so a per-call vector would
+  // show up in the allocation gate.
+  std::vector<double>& rhs = rhsScratch_;
+  rhs.assign(static_cast<std::size_t>(m_), 0.0);
   for (int var = 0; var < total_; ++var) {
     if (status_[static_cast<std::size_t>(var)] == VarStatus::Basic) continue;
     const double value = nonbasicValue(var);

@@ -177,6 +177,10 @@ int BranchAndBound::separateCoverCuts(const std::vector<double>& x) {
     }
   }
   int added = 0;
+  // Per-row scratch, hoisted so the separation loop reuses capacity.
+  std::vector<std::pair<int, double>> sorted;
+  std::vector<int> cover;
+  std::vector<std::pair<int, double>> entries;
   for (int r = 0; r < originalRows && added < opts_.maxCoverCutsPerRound;
        ++r) {
     // Separation is O(rows · columns); on big time-indexed models it must
@@ -199,15 +203,16 @@ int BranchAndBound::separateCoverCuts(const std::vector<double>& x) {
 
     // Greedy cover: take columns by descending fractional value until the
     // weight exceeds the capacity.
-    std::vector<std::pair<int, double>> sorted =
-        rows[static_cast<std::size_t>(r)];
+    sorted.assign(rows[static_cast<std::size_t>(r)].begin(),
+                  rows[static_cast<std::size_t>(r)].end());
     std::sort(sorted.begin(), sorted.end(),
               [&x](const auto& a, const auto& b) {
                 return x[static_cast<std::size_t>(a.first)] >
                        x[static_cast<std::size_t>(b.first)];
               });
     double weight = 0, fracSum = 0;
-    std::vector<int> cover;
+    cover.clear();
+    cover.reserve(sorted.size());
     for (const auto& [col, w] : sorted) {
       if (x[static_cast<std::size_t>(col)] <= 1e-9) break;
       cover.push_back(col);
@@ -219,7 +224,7 @@ int BranchAndBound::separateCoverCuts(const std::vector<double>& x) {
     const double rhs = static_cast<double>(cover.size()) - 1.0;
     if (fracSum <= rhs + 1e-6) continue;  // not violated
 
-    std::vector<std::pair<int, double>> entries;
+    entries.clear();
     entries.reserve(cover.size());
     for (const int col : cover) entries.emplace_back(col, 1.0);
     work_.addRow(-lp::kInf, rhs, entries);
@@ -412,10 +417,17 @@ MipResult BranchAndBound::run() {
         meanPos /= weight;
         const int split = std::clamp(static_cast<int>(meanPos), firstPos,
                                      lastPos - 1);
+        // Each child gets the parent's change list plus its own block of
+        // fixings; reserving the exact final size makes the copy + appends
+        // a single allocation instead of a growth cascade per node.
         Node left;   // keep positions [0, split]
         left.id = nextId++;
         left.bound = nodeBound;
-        left.changes = node.changes;
+        const std::size_t tailFixings =
+            cols.size() - static_cast<std::size_t>(split) - 1;
+        left.changes.reserve(node.changes.size() + tailFixings);
+        left.changes.insert(left.changes.end(), node.changes.begin(),
+                            node.changes.end());
         for (std::size_t k = static_cast<std::size_t>(split) + 1;
              k < cols.size(); ++k) {
           left.changes.push_back(BoundChange{cols[k], -lp::kInf, 0.0});
@@ -423,7 +435,10 @@ MipResult BranchAndBound::run() {
         Node right;  // keep positions [split+1, end)
         right.id = nextId++;
         right.bound = nodeBound;
-        right.changes = node.changes;
+        right.changes.reserve(node.changes.size() +
+                              static_cast<std::size_t>(split) + 1);
+        right.changes.insert(right.changes.end(), node.changes.begin(),
+                             node.changes.end());
         for (std::size_t k = 0; k <= static_cast<std::size_t>(split); ++k) {
           right.changes.push_back(BoundChange{cols[k], -lp::kInf, 0.0});
         }
@@ -441,12 +456,16 @@ MipResult BranchAndBound::run() {
     Node down;
     down.id = nextId++;
     down.bound = nodeBound;
-    down.changes = node.changes;
+    down.changes.reserve(node.changes.size() + 1);
+    down.changes.insert(down.changes.end(), node.changes.begin(),
+                        node.changes.end());
     down.changes.push_back(BoundChange{branchVar, -lp::kInf, floorV});
     Node up;
     up.id = nextId++;
     up.bound = nodeBound;
-    up.changes = node.changes;
+    up.changes.reserve(node.changes.size() + 1);
+    up.changes.insert(up.changes.end(), node.changes.begin(),
+                      node.changes.end());
     up.changes.push_back(BoundChange{branchVar, floorV + 1.0, lp::kInf});
     // Push the child whose branch direction is closer to the LP value
     // first so ties pop it earlier (mild plunging under best-first).

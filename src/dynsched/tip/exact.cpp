@@ -21,6 +21,9 @@ ExactResult exactBestSchedule(const TipInstance& instance,
     view.timeScale = instance.timeScale;
     view.historyStart = instance.history.startTime();
     view.machineSize = instance.history.machineSize();
+    view.jobWidth.reserve(instance.jobs.size());
+    view.jobEstimate.reserve(instance.jobs.size());
+    view.jobSubmit.reserve(instance.jobs.size());
     for (const core::Job& job : instance.jobs) {
       view.jobWidth.push_back(job.width);
       view.jobEstimate.push_back(job.estimate);
@@ -42,14 +45,15 @@ ExactResult exactBestSchedule(const TipInstance& instance,
 
   ExactResult best;
   bool haveBest = false;
+  std::vector<core::Job> ordered;  // reused across permutations
+  ordered.reserve(n);
   do {
     if ((best.ordersTried & 255) == 0 && cancel != nullptr &&
         cancel->poll()) {
       best.complete = false;
       break;
     }
-    std::vector<core::Job> ordered;
-    ordered.reserve(n);
+    ordered.clear();
     for (const std::size_t i : order) ordered.push_back(instance.jobs[i]);
     core::Schedule schedule =
         core::planInOrder(instance.history, ordered, instance.now);

@@ -39,6 +39,15 @@ class OrderSearch {
     order_.clear();
     order_.reserve(n);
     core::ResourceProfile profile(instance_.history);
+    // Per-depth scratch pools: dfs at depth d uses slot d, its recursion
+    // uses slot d+1, so slots never alias. Copy-assigning into a pooled
+    // profile reuses its owned storage instead of allocating a fresh
+    // profile per candidate — the single biggest allocation source in
+    // the search.
+    childPool_.assign(n, profile);
+    candidatePool_.assign(n, {});
+    for (std::vector<Candidate>& pool : candidatePool_) pool.reserve(n);
+    leafOrdered_.reserve(n);
     dfs(profile, 0.0);
 
     result_.optimal = !limitHit_;
@@ -83,23 +92,22 @@ class OrderSearch {
     const std::size_t n = instance_.jobs.size();
     if (order_.size() == n) {
       // Leaf: rebuild the schedule from the order (cheap relative to DFS).
-      std::vector<core::Job> ordered;
-      ordered.reserve(n);
-      for (const std::size_t j : order_) ordered.push_back(instance_.jobs[j]);
-      consider(core::planInOrder(instance_.history, ordered, instance_.now));
+      leafOrdered_.clear();
+      for (const std::size_t j : order_) {
+        leafOrdered_.push_back(instance_.jobs[j]);
+      }
+      consider(
+          core::planInOrder(instance_.history, leafOrdered_, instance_.now));
       return;
     }
 
     // Child candidates: each unplaced job, with its earliest-fit start in
     // the current profile. Explore cheapest-contribution-first so good
     // incumbents appear early.
-    struct Candidate {
-      std::size_t jobIndex;
-      Time start;
-      double cost;
-    };
-    std::vector<Candidate> candidates;
-    candidates.reserve(n - order_.size());
+    const std::size_t depth = order_.size();
+    std::vector<Candidate>& candidates = candidatePool_[depth];
+    candidates.clear();
+    candidates.reserve(n - depth);  // capacity already held after first use
     for (std::size_t j = 0; j < n; ++j) {
       if (placed_[j]) continue;
       const core::Job& job = instance_.jobs[j];
@@ -128,7 +136,8 @@ class OrderSearch {
 
     for (const Candidate& c : candidates) {
       const core::Job& job = instance_.jobs[c.jobIndex];
-      core::ResourceProfile child = profile;
+      core::ResourceProfile& child = childPool_[depth];
+      child = profile;
       child.reserve(c.start, job.estimate, job.width);
       const double childAccumulated = accumulated + c.cost;
       placed_[c.jobIndex] = true;
@@ -145,12 +154,21 @@ class OrderSearch {
     }
   }
 
+  struct Candidate {
+    std::size_t jobIndex;
+    Time start;
+    double cost;
+  };
+
   const TipInstance& instance_;
   const OrderBnbOptions& opts_;
   util::WallTimer timer_;
   OrderBnbResult result_;
   std::vector<bool> placed_;
   std::vector<std::size_t> order_;
+  std::vector<core::ResourceProfile> childPool_;      // slot per DFS depth
+  std::vector<std::vector<Candidate>> candidatePool_;  // slot per DFS depth
+  std::vector<core::Job> leafOrdered_;                // leaf rebuild scratch
   bool limitHit_ = false;
 };
 

@@ -223,6 +223,7 @@ class StudyJournal {
   std::vector<StudyRow> finishedPrefix() const DYNSCHED_EXCLUDES(mutex_) {
     const util::MutexLock lock(mutex_);
     std::vector<StudyRow> prefix;
+    prefix.reserve(rows_.size());
     for (std::size_t i = 0; i < rows_.size() && solved_[i]; ++i) {
       prefix.push_back(rows_[i]);
     }

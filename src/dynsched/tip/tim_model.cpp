@@ -54,7 +54,7 @@ Grid::Placement Grid::placeInOrder(const std::vector<std::size_t>& order) const 
     return k < remaining.size() ? remaining[k] : machineSize_;
   };
   const auto ensureSize = [&](std::size_t k) {
-    while (remaining.size() <= k) remaining.push_back(machineSize_);
+    if (remaining.size() <= k) remaining.resize(k + 1, machineSize_);
   };
   int usedSlots = 0;
   for (const std::size_t jobIndex : order) {
@@ -118,12 +118,24 @@ TipModel buildModel(const TipInstance& instance, const Grid& grid) {
   }
 
   model.jobColumns.resize(static_cast<std::size_t>(numJobs));
+  // One column per feasible (job, start slot) pair; sizing the column maps
+  // up front avoids growth reallocations over the whole build.
+  std::size_t totalColumns = 0;
+  for (int i = 0; i < numJobs; ++i) {
+    const int span =
+        grid.slots() - grid.slotDuration(static_cast<std::size_t>(i)) + 1;
+    if (span > 0) totalColumns += static_cast<std::size_t>(span);
+  }
+  model.colJob.reserve(totalColumns);
+  model.colSlot.reserve(totalColumns);
   for (int i = 0; i < numJobs; ++i) {
     const core::Job& job = instance.jobs[static_cast<std::size_t>(i)];
     const int dur = grid.slotDuration(static_cast<std::size_t>(i));
     const int lastStart = grid.slots() - dur;
     DYNSCHED_CHECK_MSG(lastStart >= 0, "job " << job.id
                                               << " does not fit the horizon");
+    model.jobColumns[static_cast<std::size_t>(i)].reserve(
+        static_cast<std::size_t>(lastStart) + 1);
     for (int k = 0; k <= lastStart; ++k) {
       // Eq. 2 coefficient: (t − s_i + d_i) · w_i with t the slot start.
       const Time response = util::checkedAdd<Time>(
@@ -156,6 +168,8 @@ TipModel buildModel(const TipInstance& instance, const Grid& grid) {
   for (int k = 0; k < grid.slots(); ++k) {
     view.slotCapacity.push_back(grid.capacity(k));
   }
+  view.slotDuration.reserve(instance.jobs.size());
+  view.jobWidth.reserve(instance.jobs.size());
   for (std::size_t i = 0; i < instance.jobs.size(); ++i) {
     view.slotDuration.push_back(grid.slotDuration(i));
     view.jobWidth.push_back(instance.jobs[i].width);

@@ -1,0 +1,110 @@
+#include "dynsched/util/alloc_tracker.hpp"
+
+#if DYNSCHED_ALLOC_TRACK_ENABLED
+
+#include <cstdlib>
+#include <new>
+
+#include "dynsched/util/mutex.hpp"
+#include "dynsched/util/thread_annotations.hpp"
+
+namespace dynsched::util {
+namespace {
+
+// Both globals are constant-initialized (std::mutex has a constexpr
+// constructor, AllocStats is all-zeros), so the hooks are safe for
+// allocations made before main() — static initializers in other TUs
+// included.
+Mutex gAllocMutex;
+AllocStats gAllocStats DYNSCHED_GUARDED_BY(gAllocMutex);
+
+void recordAlloc(std::size_t size) {
+  const MutexLock lock(gAllocMutex);
+  ++gAllocStats.allocCount;
+  gAllocStats.allocBytes += size;
+  gAllocStats.liveBytes += size;
+  if (gAllocStats.liveBytes > gAllocStats.peakBytes) {
+    gAllocStats.peakBytes = gAllocStats.liveBytes;
+  }
+}
+
+void recordFree(std::size_t size) {
+  const MutexLock lock(gAllocMutex);
+  gAllocStats.liveBytes -= size;
+}
+
+// Each block is over-allocated by one maximally-aligned header that stores
+// the requested size, so the delete side can subtract from liveBytes
+// without any external bookkeeping.
+constexpr std::size_t kHeaderSize =
+    alignof(std::max_align_t) > sizeof(std::size_t)
+        ? alignof(std::max_align_t)
+        : sizeof(std::size_t);
+
+void* trackedAlloc(std::size_t size) {
+  void* raw = std::malloc(size + kHeaderSize);
+  if (raw == nullptr) return nullptr;
+  *static_cast<std::size_t*>(raw) = size;
+  recordAlloc(size);
+  return static_cast<char*>(raw) + kHeaderSize;
+}
+
+void trackedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  char* raw = static_cast<char*>(ptr) - kHeaderSize;
+  recordFree(*reinterpret_cast<std::size_t*>(raw));
+  std::free(raw);
+}
+
+}  // namespace
+
+bool allocTrackingEnabled() { return true; }
+
+AllocStats allocStats() {
+  const MutexLock lock(gAllocMutex);
+  return gAllocStats;
+}
+
+void resetAllocStats() {
+  const MutexLock lock(gAllocMutex);
+  gAllocStats.allocCount = 0;
+  gAllocStats.allocBytes = 0;
+  gAllocStats.peakBytes = gAllocStats.liveBytes;
+}
+
+}  // namespace dynsched::util
+
+// ---------------------------------------------------------------------------
+// Global replacements. The aligned (align_val_t) family is deliberately NOT
+// replaced: its default implementations form a self-consistent pair, so
+// over-aligned blocks never cross our header scheme. The nothrow family
+// forwards to these replaced versions per the standard, so it is covered
+// without being defined here.
+
+void* operator new(std::size_t size) {
+  void* ptr = dynsched::util::trackedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = dynsched::util::trackedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { dynsched::util::trackedFree(ptr); }
+
+void operator delete[](void* ptr) noexcept {
+  dynsched::util::trackedFree(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept {
+  dynsched::util::trackedFree(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t) noexcept {
+  dynsched::util::trackedFree(ptr);
+}
+
+#endif  // DYNSCHED_ALLOC_TRACK_ENABLED

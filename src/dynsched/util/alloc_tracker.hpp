@@ -1,0 +1,60 @@
+// Counting operator new/delete hooks for the allocation bench gate.
+//
+// Built with -DDYNSCHED_ALLOC_TRACK=ON, alloc_tracker.cpp replaces the
+// global (non-aligned) operator new/delete family with versions that count
+// every allocation — calls, requested bytes, live bytes, and the high-water
+// mark — behind a capability-annotated util::Mutex. bench_exact_solvers
+// resets the counters per step and reports allocCount/allocBytes/peakBytes
+// in its JSON, which scripts/bench_check.py gates against BENCH_exact.json
+// exactly like the B&B node counters: the hot path must not silently start
+// allocating more.
+//
+// Built without the option (the default), this header degrades to constexpr
+// stubs and alloc_tracker.cpp compiles to an empty object: no replaced
+// operators, no lock, no per-allocation cost — verified by the nm check in
+// scripts/check.sh (the replacement symbols must be absent).
+//
+// Scope and caveats:
+//   * Over-aligned allocations (operator new with align_val_t) keep the
+//     default implementation — the default aligned new/delete are a
+//     self-consistent pair, so mixing is safe; they are just not counted.
+//     Nothing on the solver hot path over-aligns.
+//   * Counters are process-global. Reset + read around a single-threaded
+//     region gives exact deltas; under util::ThreadPool the counters are
+//     still exact totals, but attribution to a caller is not possible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dynsched::util {
+
+struct AllocStats {
+  std::uint64_t allocCount = 0;  ///< operator new calls since last reset
+  std::uint64_t allocBytes = 0;  ///< requested bytes since last reset
+  std::uint64_t liveBytes = 0;   ///< currently outstanding bytes (not reset)
+  std::uint64_t peakBytes = 0;   ///< max liveBytes seen since last reset
+};
+
+#if DYNSCHED_ALLOC_TRACK_ENABLED
+
+/// True in binaries built with DYNSCHED_ALLOC_TRACK=ON.
+bool allocTrackingEnabled();
+
+/// Snapshot of the process-wide counters.
+AllocStats allocStats();
+
+/// Zeroes allocCount/allocBytes and restarts the peak from the current
+/// live size. liveBytes itself is never reset — it tracks real
+/// outstanding memory.
+void resetAllocStats();
+
+#else  // stubs: zero overhead, zero linkage into the allocator
+
+constexpr bool allocTrackingEnabled() { return false; }
+inline AllocStats allocStats() { return AllocStats{}; }
+inline void resetAllocStats() {}
+
+#endif
+
+}  // namespace dynsched::util

@@ -23,6 +23,13 @@ std::vector<std::string> split(std::string_view text, char delim) {
 
 std::vector<std::string> splitWhitespace(std::string_view text) {
   std::vector<std::string> out;
+  splitWhitespaceInto(text, out);
+  return out;
+}
+
+void splitWhitespaceInto(std::string_view text,
+                         std::vector<std::string>& out) {
+  std::size_t used = 0;
   std::size_t i = 0;
   while (i < text.size()) {
     while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
@@ -31,9 +38,16 @@ std::vector<std::string> splitWhitespace(std::string_view text) {
     while (i < text.size() &&
            !std::isspace(static_cast<unsigned char>(text[i])))
       ++i;
-    if (i > start) out.emplace_back(text.substr(start, i - start));
+    if (i > start) {
+      if (used < out.size()) {
+        out[used].assign(text.substr(start, i - start));
+      } else {
+        out.emplace_back(text.substr(start, i - start));
+      }
+      ++used;
+    }
   }
-  return out;
+  out.resize(used);
 }
 
 std::string_view trim(std::string_view text) {

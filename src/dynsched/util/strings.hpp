@@ -16,6 +16,11 @@ std::vector<std::string> split(std::string_view text, char delim);
 /// Splits on runs of whitespace; drops empty fields.
 std::vector<std::string> splitWhitespace(std::string_view text);
 
+/// As splitWhitespace, but reuses `out` (vector capacity and, for fields
+/// already present, string capacity) — for per-line splitting in parse
+/// loops where a fresh vector per line would churn the allocator.
+void splitWhitespaceInto(std::string_view text, std::vector<std::string>& out);
+
 /// Strips leading/trailing whitespace.
 std::string_view trim(std::string_view text);
 

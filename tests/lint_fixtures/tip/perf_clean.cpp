@@ -1,0 +1,54 @@
+// Allocation-conscious twins of perf_dirty.cpp: the same work shaped the
+// way the DSL10x rules ask for — this file must stay silent. Not compiled.
+namespace fixture {
+
+struct Node {};
+
+std::map<int, int> lookup;
+
+void pooledAlloc(int n, std::vector<Node>& pool) {
+  pool.resize(n);
+  for (int i = 0; i < n; ++i) use(&pool[i]);
+}
+
+void hoistedScratch(int n) {
+  std::vector<int> scratch;
+  for (int i = 0; i < n; ++i) {
+    scratch.clear();
+    fill(scratch);
+  }
+}
+
+void reservedGrowth(int n) {
+  grown.reserve(n);
+  for (int i = 0; i < n; ++i) grown.push_back(i);
+}
+
+int lightParam(const std::string& name) {
+  return use(name);
+}
+
+int sinkParam(std::string name) {
+  names.push_back(std::move(name));
+  return last();
+}
+
+int singleLookup(int key) {
+  const int value = lookup[key];
+  return use(value);
+}
+
+void flushOnceAfterTheLoop(std::ostream& out, int n) {
+  for (int i = 0; i < n; ++i) out << row(i) << '\n';
+  out.flush();
+}
+
+void refcountFree(const std::shared_ptr<Node>& node) {
+  touch(node);
+}
+
+const std::vector<int>& childCandidates(int node) {
+  return order;
+}
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// DSL10x fixture: lives under tip/ so the hot-path performance rules are in
+// scope; each rule fires exactly once. Not compiled.
+namespace fixture {
+
+struct Node {};
+
+std::map<int, int> lookup;
+
+void allocPerIteration(int n) {
+  for (int i = 0; i < n; ++i) {
+    Node* node = new Node();            // DSL100
+    use(node);
+  }
+}
+
+void containerPerIteration(int n) {
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> scratch;           // DSL101
+    fill(scratch);
+  }
+}
+
+void unreservedGrowth(int n) {
+  for (int i = 0; i < n; ++i) {
+    grown.push_back(i);                 // DSL102
+  }
+}
+
+int heavyParam(std::string name) {      // DSL103
+  return use(name);
+}
+
+int doubleLookup(int key) {
+  use(lookup[key]);
+  return lookup[key];                   // DSL104
+}
+
+void flushPerLine(std::ostream& out) {
+  out << "header" << std::endl;         // DSL105
+}
+
+void refcountPerCall(std::shared_ptr<Node> node) {  // DSL106
+  touch(node);
+}
+
+std::vector<int> childCandidates(int node) {        // DSL107
+  return order;
+}
+
+}  // namespace fixture

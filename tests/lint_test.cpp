@@ -30,9 +30,13 @@ const char* const kPath = "src/dynsched/core/sample.cpp";
 
 TEST(LintCatalog, HasAllRulesWithStableIds) {
   const auto& catalog = ruleCatalog();
-  ASSERT_EQ(catalog.size(), 8u);
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
+  ASSERT_EQ(catalog.size(), 16u);
+  for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(std::string(catalog[i].id), "DSL00" + std::to_string(i));
+    EXPECT_FALSE(std::string(catalog[i].summary).empty());
+  }
+  for (std::size_t i = 8; i < catalog.size(); ++i) {
+    EXPECT_EQ(std::string(catalog[i].id), "DSL10" + std::to_string(i - 8));
     EXPECT_FALSE(std::string(catalog[i].summary).empty());
   }
 }
@@ -170,6 +174,348 @@ TEST(LintRules, Dsl005IgnoresNonSizeOperands) {
                   .empty());
 }
 
+TEST(LintRules, Dsl005AllowsCastWidenedOperandChains) {
+  // Once the leftmost operand is hoisted to 64-bit width, every later
+  // * / + in the chain evaluates at that width — the classic
+  //   static_cast<std::size_t>(a) * b + c
+  // reserve-size idiom must not fire.
+  EXPECT_TRUE(lintAt("src/dynsched/tip/model.cpp",
+                     "auto n = static_cast<std::size_t>(rows) * cols;\n"
+                     "auto k = static_cast<std::int64_t>(slots) * width "
+                     "+ count;\n"
+                     "auto p = static_cast<std::size_t>(numRows()) * "
+                     "cols + entries;\n")
+                  .empty());
+}
+
+TEST(LintRules, Dsl005StillFiresWhenTheChainIsNotWidened) {
+  // A cast on a *later* additive operand does not protect the first
+  // product: rows * cols is evaluated at narrow width before the cast
+  // operand ever joins in.
+  const auto findings =
+      lintAt("src/dynsched/tip/model.cpp",
+             "auto n = rows * cols + static_cast<std::size_t>(width);\n");
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "DSL005");
+}
+
+// --- DSL100..DSL107: hot-path performance rules ------------------------------
+
+// All perf rules are scoped to lp//mip//tip/ files.
+const char* const kHot = "src/dynsched/tip/sample.cpp";
+
+TEST(LintPerfRules, Dsl100FlagsNewAndMakeUniqueInLoops) {
+  const auto findings = lintAt(kHot,
+                               "void f() {\n"
+                               "  for (int i = 0; i < n; ++i) {\n"
+                               "    auto* p = new Node();\n"
+                               "    auto q = std::make_unique<Node>();\n"
+                               "  }\n"
+                               "}\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL100", "DSL100"}));
+}
+
+TEST(LintPerfRules, Dsl100SilentOutsideLoopsAndOffTheHotPath) {
+  EXPECT_TRUE(lintAt(kHot,
+                     "void f() {\n"
+                     "  auto* p = new Node();\n"
+                     "}\n")
+                  .empty());
+  EXPECT_TRUE(lintAt("src/dynsched/core/sample.cpp",
+                     "void f() {\n"
+                     "  for (int i = 0; i < n; ++i) auto* p = new Node();\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl100SingleStatementLoopBodiesCount) {
+  const auto findings = lintAt(kHot,
+                               "void f() {\n"
+                               "  for (int i = 0; i < n; ++i)\n"
+                               "    consume(new Node());\n"
+                               "}\n");
+  EXPECT_EQ(rulesOf(findings), (std::vector<std::string>{"DSL100"}));
+}
+
+TEST(LintPerfRules, Dsl101FlagsContainerConstructedPerIteration) {
+  const auto findings = lintAt(kHot,
+                               "void f() {\n"
+                               "  while (more()) {\n"
+                               "    std::vector<int> scratch;\n"
+                               "    fill(scratch);\n"
+                               "  }\n"
+                               "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL101");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintPerfRules, Dsl101SilentWhenHoistedOrStaticOrReference) {
+  EXPECT_TRUE(lintAt(kHot,
+                     "void f() {\n"
+                     "  std::vector<int> scratch;\n"
+                     "  while (more()) {\n"
+                     "    scratch.clear();\n"
+                     "    static const std::vector<int> kTable = makeTable();\n"
+                     "    const std::vector<int>& view = table();\n"
+                     "  }\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl101HeavyProjectTypeOnlyFiresOnCopies) {
+  // Copy-init from a plain identifier chain is a real per-iteration copy.
+  const auto copy = lintAt(kHot,
+                           "void f() {\n"
+                           "  for (const Candidate& c : candidates) {\n"
+                           "    core::ResourceProfile child = profile;\n"
+                           "    child.reserve(c.start);\n"
+                           "  }\n"
+                           "}\n");
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy[0].rule, "DSL101");
+  // Construction from a call is elided (RVO) — not a copy, stays silent.
+  EXPECT_TRUE(lintAt(kHot,
+                     "void f() {\n"
+                     "  for (int i = 0; i < n; ++i) {\n"
+                     "    Schedule s = planInOrder(history, jobs, now);\n"
+                     "    consider(s);\n"
+                     "  }\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl102FlagsPushBackWithNoReserveInFile) {
+  const auto findings = lintAt(kHot,
+                               "void f() {\n"
+                               "  for (int i = 0; i < n; ++i) {\n"
+                               "    xs.push_back(i);\n"
+                               "  }\n"
+                               "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL102");
+}
+
+TEST(LintPerfRules, Dsl102ReserveAnywhereInTheFileCovers) {
+  // run() reserves, dfs() pushes — the file-wide scan accepts that.
+  EXPECT_TRUE(lintAt(kHot,
+                     "void run() { xs.reserve(n); dfs(); }\n"
+                     "void dfs() {\n"
+                     "  for (int i = 0; i < n; ++i) xs.push_back(i);\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl103FlagsByValueHeavyParamsInDefinitions) {
+  const auto findings =
+      lintAt(kHot,
+             "int addRow(double lb, std::string name) {\n"
+             "  return impl(lb, name.c_str());\n"
+             "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL103");
+}
+
+TEST(LintPerfRules, Dsl103SilentForConstRefDeclarationsAndSinks) {
+  // const& param, a declaration (no body), and a std::move sink: all quiet.
+  EXPECT_TRUE(lintAt(kHot,
+                     "int addRow(double lb, const std::string& name) {\n"
+                     "  return impl(lb, name.c_str());\n"
+                     "}\n"
+                     "int addVar(std::string name);\n"
+                     "int addCol(std::string name) {\n"
+                     "  names_.push_back(std::move(name));\n"
+                     "  return last();\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl104FlagsRepeatedMapLookupSameKey) {
+  const auto findings = lintAt(kHot,
+                               "std::map<int, int> index;\n"
+                               "void f() {\n"
+                               "  int a = index[key];\n"
+                               "  int b = index[key];\n"
+                               "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL104");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintPerfRules, Dsl104SilentForDistinctKeysAndNonMaps) {
+  EXPECT_TRUE(lintAt(kHot,
+                     "std::map<int, int> index;\n"
+                     "void f() {\n"
+                     "  int a = index[first];\n"
+                     "  int b = index[second];\n"
+                     "  int c = xs[i] + xs[i];\n"  // xs is not a known map
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl105FlagsEndlAnywhereAndFlushInLoops) {
+  const auto findings = lintAt(kHot,
+                               "void f() {\n"
+                               "  out << header << std::endl;\n"
+                               "  for (int i = 0; i < n; ++i) {\n"
+                               "    out.flush();\n"
+                               "  }\n"
+                               "}\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL105", "DSL105"}));
+}
+
+TEST(LintPerfRules, Dsl105AllowsNewlineAndFlushAfterTheLoop) {
+  EXPECT_TRUE(lintAt(kHot,
+                     "void f() {\n"
+                     "  for (int i = 0; i < n; ++i) out << row(i) << '\\n';\n"
+                     "  out.flush();\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl106FlagsSharedPtrByValueParamAndLoopCopy) {
+  const auto param = lintAt(kHot,
+                            "void f(std::shared_ptr<Model> model) {\n"
+                            "  model->solve();\n"
+                            "}\n");
+  ASSERT_EQ(param.size(), 1u);
+  EXPECT_EQ(param[0].rule, "DSL106");
+  const auto copy = lintAt(kHot,
+                           "void g() {\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    std::shared_ptr<Model> local = shared;\n"
+                           "    local->step();\n"
+                           "  }\n"
+                           "}\n");
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy[0].rule, "DSL106");
+}
+
+TEST(LintPerfRules, Dsl106SilentForConstRefParam) {
+  EXPECT_TRUE(lintAt(kHot,
+                     "void f(const std::shared_ptr<Model>& model) {\n"
+                     "  model->solve();\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, Dsl107FlagsHeavyReturnFromPerNodeHelper) {
+  const auto findings = lintAt(kHot,
+                               "std::vector<int> childOrder(int node) {\n"
+                               "  return order_;\n"
+                               "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DSL107");
+}
+
+TEST(LintPerfRules, Dsl107SilentForReferencesAndNonNodeNames) {
+  EXPECT_TRUE(lintAt(kHot,
+                     "const std::vector<int>& childOrder(int node) {\n"
+                     "  return order_;\n"
+                     "}\n"
+                     "std::vector<int> allRows() {\n"
+                     "  return rows_;\n"
+                     "}\n")
+                  .empty());
+}
+
+TEST(LintPerfRules, SuppressionsApplyToPerfRulesToo) {
+  EXPECT_TRUE(
+      lintAt(kHot,
+             "void f() {\n"
+             "  for (int i = 0; i < n; ++i) {\n"
+             "    // dynsched-lint: allow(DSL100) pool warm-up, runs once\n"
+             "    auto* p = new Node();\n"
+             "  }\n"
+             "}\n")
+          .empty());
+}
+
+// --- Baseline record / report-only-new mode ---------------------------------
+
+TEST(LintBaseline, RenderIsSortedAndHeadered) {
+  LintResult result;
+  result.findings = lintAt(kHot,
+                           "void f() {\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    xs.push_back(i);\n"
+                           "    auto* p = new Node();\n"
+                           "  }\n"
+                           "}\n");
+  ASSERT_EQ(result.findings.size(), 2u);
+  const std::string text = renderBaseline(result);
+  EXPECT_EQ(text.find("# dynsched-lint baseline v1"), 0u);
+  // Sorted by rule: DSL100 before DSL102 regardless of line order.
+  const std::size_t at100 = text.find("DSL100");
+  const std::size_t at102 = text.find("DSL102");
+  ASSERT_NE(at100, std::string::npos);
+  ASSERT_NE(at102, std::string::npos);
+  EXPECT_LT(at100, at102);
+}
+
+TEST(LintBaseline, ApplySuppressesRecordedAndKeepsNewFindings) {
+  const char* const src =
+      "void f() {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    xs.push_back(i);\n"
+      "  }\n"
+      "}\n";
+  LintResult recorded;
+  recorded.findings = lintAt(kHot, src);
+  const std::string baseline = renderBaseline(recorded);
+
+  // Same tree: everything suppressed, nothing stale.
+  LintResult same;
+  same.findings = lintAt(kHot, src);
+  const BaselineResult applied = applyBaseline(same, baseline);
+  EXPECT_TRUE(applied.error.empty());
+  EXPECT_EQ(applied.suppressed, 1u);
+  EXPECT_TRUE(applied.stale.empty());
+  EXPECT_TRUE(same.findings.empty());
+
+  // A new finding in another file survives the filter.
+  LintResult grown;
+  grown.findings = lintAt(kHot, src);
+  const auto extra = lintAt("src/dynsched/lp/other.cpp",
+                            "void g() {\n"
+                            "  for (int i = 0; i < n; ++i) ys.push_back(i);\n"
+                            "}\n");
+  grown.findings.insert(grown.findings.end(), extra.begin(), extra.end());
+  const BaselineResult appliedGrown = applyBaseline(grown, baseline);
+  EXPECT_EQ(appliedGrown.suppressed, 1u);
+  ASSERT_EQ(grown.findings.size(), 1u);
+  EXPECT_EQ(grown.findings[0].file, "src/dynsched/lp/other.cpp");
+}
+
+TEST(LintBaseline, StaleEntriesAreReportedNotErrors) {
+  LintResult recorded;
+  recorded.findings = lintAt(kHot,
+                             "void f() {\n"
+                             "  for (int i = 0; i < n; ++i) xs.push_back(i);\n"
+                             "}\n");
+  const std::string baseline = renderBaseline(recorded);
+  LintResult clean;  // the finding was fixed since the record
+  const BaselineResult applied = applyBaseline(clean, baseline);
+  EXPECT_TRUE(applied.error.empty());
+  EXPECT_EQ(applied.suppressed, 0u);
+  ASSERT_EQ(applied.stale.size(), 1u);
+  EXPECT_NE(applied.stale[0].find("DSL102"), std::string::npos);
+}
+
+TEST(LintBaseline, MalformedBaselineIsAnError) {
+  LintResult result;
+  EXPECT_FALSE(applyBaseline(result, "not a baseline\n").error.empty());
+  EXPECT_FALSE(
+      applyBaseline(result,
+                    "# dynsched-lint baseline v1\nline-without-tabs\n")
+          .error.empty());
+  // Future versions are rejected, not silently misread.
+  EXPECT_FALSE(
+      applyBaseline(result, "# dynsched-lint baseline v99\n").error.empty());
+}
+
 // --- DSL006: raw randomness -------------------------------------------------
 
 TEST(LintRules, Dsl006FlagsStdRandomAndCRand) {
@@ -300,7 +646,7 @@ TEST(LintPaths, FixtureTreeReportsExpectedRulesPerFile) {
   const std::string root = DYNSCHED_LINT_FIXTURE_DIR;
   const LintResult result = lintPaths({root});
   EXPECT_TRUE(result.errors.empty());
-  EXPECT_EQ(result.filesScanned, 3u);
+  EXPECT_EQ(result.filesScanned, 5u);
 
   std::vector<std::string> dirty;
   std::vector<std::string> tip;
@@ -308,18 +654,23 @@ TEST(LintPaths, FixtureTreeReportsExpectedRulesPerFile) {
   for (const Finding& finding : result.findings) {
     if (finding.file.find("dirty/") != std::string::npos) {
       dirty.push_back(finding.rule);
+    } else if (finding.file.find("perf_clean") != std::string::npos) {
+      clean.push_back(finding.rule);
     } else if (finding.file.find("tip/") != std::string::npos) {
       tip.push_back(finding.rule);
     } else {
       clean.push_back(finding.rule);
     }
   }
-  EXPECT_TRUE(clean.empty()) << "clean fixture must stay silent";
+  EXPECT_TRUE(clean.empty()) << "clean fixtures must stay silent";
   std::sort(dirty.begin(), dirty.end());
   EXPECT_EQ(dirty, (std::vector<std::string>{"DSL000", "DSL001", "DSL002",
                                              "DSL003", "DSL004", "DSL004",
                                              "DSL006", "DSL007"}));
-  EXPECT_EQ(tip, (std::vector<std::string>{"DSL005"}));
+  std::sort(tip.begin(), tip.end());
+  EXPECT_EQ(tip, (std::vector<std::string>{
+                     "DSL005", "DSL100", "DSL101", "DSL102", "DSL103",
+                     "DSL104", "DSL105", "DSL106", "DSL107"}));
 }
 
 TEST(LintPaths, MissingPathIsAnErrorNotAFinding) {

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,13 +19,24 @@ int usage(std::ostream& os, int exitCode) {
   os << "usage: dynsched_lint [options] <path>...\n"
         "\n"
         "Scans *.cpp/*.cc/*.hpp/*.h under the given paths against the\n"
-        "dynsched project rules (DSL001..DSL007).\n"
+        "dynsched project rules (DSL001..DSL007 structural, DSL100..DSL107\n"
+        "hot-path performance).\n"
         "\n"
         "options:\n"
-        "  --json             emit the JSON report on stdout instead of text\n"
-        "  --json-out <file>  also write the JSON report to <file>\n"
-        "  --list-rules       print the rule catalog and exit\n"
-        "  -h, --help         this help\n"
+        "  --json                  emit the JSON report on stdout\n"
+        "  --json-out <file>       also write the JSON report to <file>\n"
+        "  --baseline <file>       report only findings NOT recorded in\n"
+        "                          <file>; recorded ones are suppressed,\n"
+        "                          stale record entries are warned about\n"
+        "  --write-baseline <file> record the current findings to <file>\n"
+        "                          and exit 0 (the flag-day escape hatch:\n"
+        "                          land a new rule family gating only new\n"
+        "                          code, then burn the recorded debt down)\n"
+        "  --list-rules            print the rule catalog and exit\n"
+        "  -h, --help              this help\n"
+        "\n"
+        "Baselines record rule+file+snippet (never line numbers), so they\n"
+        "survive unrelated edits; re-record after fixing to shrink them.\n"
         "\n"
         "Suppress a finding with a reasoned comment on the same line or the\n"
         "line above:\n"
@@ -34,11 +46,26 @@ int usage(std::ostream& os, int exitCode) {
   return exitCode;
 }
 
+bool writeFileOrComplain(const std::string& path, const std::string& text) {
+  // Advisory report/baseline output, not crash-safe state, and this tool
+  // must stay dependency-free of the dynsched libraries it lints.
+  // dynsched-lint: allow(DSL004) standalone tool; report files are advisory output
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "dynsched-lint: cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool jsonStdout = false;
   std::string jsonOut;
+  std::string baselinePath;
+  std::string writeBaselinePath;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,12 +80,16 @@ int main(int argc, char** argv) {
       jsonStdout = true;
       continue;
     }
-    if (arg == "--json-out") {
+    if (arg == "--json-out" || arg == "--baseline" ||
+        arg == "--write-baseline") {
       if (i + 1 >= argc) {
-        std::cerr << "dynsched-lint: --json-out needs a file argument\n";
+        std::cerr << "dynsched-lint: " << arg << " needs a file argument\n";
         return 2;
       }
-      jsonOut = argv[++i];
+      (arg == "--json-out"
+           ? jsonOut
+           : arg == "--baseline" ? baselinePath : writeBaselinePath) =
+          argv[++i];
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -71,19 +102,56 @@ int main(int argc, char** argv) {
     std::cerr << "dynsched-lint: no paths given\n";
     return usage(std::cerr, 2);
   }
+  if (!baselinePath.empty() && !writeBaselinePath.empty()) {
+    std::cerr << "dynsched-lint: --baseline and --write-baseline are "
+                 "mutually exclusive\n";
+    return 2;
+  }
 
-  const dynsched::lint::LintResult result = dynsched::lint::lintPaths(paths);
+  dynsched::lint::LintResult result = dynsched::lint::lintPaths(paths);
 
-  if (!jsonOut.empty()) {
-    // The report file is advisory CI output, not crash-safe state, and this
-    // tool must stay dependency-free of the dynsched libraries it lints.
-    // dynsched-lint: allow(DSL004) standalone tool; report file is advisory output
-    std::ofstream out(jsonOut, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::cerr << "dynsched-lint: cannot write " << jsonOut << "\n";
+  if (!writeBaselinePath.empty()) {
+    if (!writeFileOrComplain(writeBaselinePath,
+                             dynsched::lint::renderBaseline(result))) {
       return 2;
     }
-    out << dynsched::lint::renderJson(result);
+    std::cout << "dynsched-lint: recorded " << result.findings.size()
+              << " finding" << (result.findings.size() == 1 ? "" : "s")
+              << " to " << writeBaselinePath << "\n";
+    return result.errors.empty() ? 0 : 2;
+  }
+
+  if (!baselinePath.empty()) {
+    std::ifstream in(baselinePath, std::ios::binary);
+    if (!in) {
+      std::cerr << "dynsched-lint: cannot read baseline " << baselinePath
+                << "\n";
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const dynsched::lint::BaselineResult applied =
+        dynsched::lint::applyBaseline(result, contents.str());
+    if (!applied.error.empty()) {
+      std::cerr << "dynsched-lint: " << baselinePath << ": " << applied.error
+                << "\n";
+      return 2;
+    }
+    for (const std::string& stale : applied.stale) {
+      std::cerr << "dynsched-lint: stale baseline entry (no longer fires): "
+                << stale << "\n";
+    }
+    if (applied.suppressed > 0) {
+      std::cerr << "dynsched-lint: " << applied.suppressed
+                << " recorded finding"
+                << (applied.suppressed == 1 ? "" : "s")
+                << " suppressed by baseline " << baselinePath << "\n";
+    }
+  }
+
+  if (!jsonOut.empty() &&
+      !writeFileOrComplain(jsonOut, dynsched::lint::renderJson(result))) {
+    return 2;
   }
   std::cout << (jsonStdout ? dynsched::lint::renderJson(result)
                            : dynsched::lint::renderText(result));

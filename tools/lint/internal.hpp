@@ -1,0 +1,120 @@
+// Shared engine internals for dynsched-lint. lint.cpp owns preprocessing,
+// tokenizing, the structural DSL00x rules, and rendering; perf_rules.cpp
+// builds the scope analysis (loop nesting, function bodies) on top of the
+// same token stream and implements the hot-path DSL10x family. Nothing in
+// here is public API — tools include lint/lint.hpp.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace dynsched::lint::internal {
+
+// ---------------------------------------------------------------------------
+// Preprocessed source: comments/literals blanked out, suppressions harvested.
+
+struct Suppression {
+  std::set<std::string> rules;
+  bool valid = false;   // parsed cleanly with a known ID and a reason
+  std::string problem;  // why it is malformed (DSL000 message)
+};
+
+struct SourceView {
+  std::string code;                // literals/comments -> spaces
+  std::vector<std::string> lines;  // raw source lines (for snippets)
+  std::map<std::size_t, Suppression> suppressions;  // by 1-based line
+};
+
+SourceView preprocess(std::string_view text);
+
+std::string trimCopy(std::string_view text);
+std::string lowered(std::string text);
+bool pathHas(const std::string& normalized, std::string_view piece);
+
+// ---------------------------------------------------------------------------
+// Token stream over the code view.
+
+struct Token {
+  enum class Kind { Ident, Number, Punct };
+  Kind kind;
+  std::string text;
+  std::size_t line;    // 1-based
+  std::size_t column;  // 1-based
+};
+
+std::vector<Token> tokenize(const std::string& code);
+
+bool isStdQualified(const std::vector<Token>& tokens, std::size_t identIndex);
+
+// ---------------------------------------------------------------------------
+// Per-file lint context: reporting honours suppressions on the finding line
+// or the line directly above.
+
+struct FileLint {
+  const std::string& path;  // normalized
+  const SourceView& view;
+  const std::vector<Token>& tokens;
+  std::vector<Finding>& findings;
+
+  void report(const std::string& rule, std::size_t line, std::size_t column,
+              std::string message) const {
+    for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
+      const auto it = view.suppressions.find(at);
+      if (it != view.suppressions.end() && it->second.valid &&
+          it->second.rules.count(rule) > 0) {
+        return;  // explicitly allowed, with a reason
+      }
+    }
+    Finding finding;
+    finding.file = path;
+    finding.line = line;
+    finding.column = column;
+    finding.rule = rule;
+    finding.message = std::move(message);
+    if (line >= 1 && line <= view.lines.size()) {
+      finding.snippet = trimCopy(view.lines[line - 1]);
+    }
+    findings.push_back(std::move(finding));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scope analysis: loop nesting per token plus function-definition records.
+// Heuristic (token-level, no parse tree) but conservative: the DSL10x rules
+// only consume facts this pass is confident about.
+
+struct FunctionDef {
+  std::string name;            // "<lambda>" for lambdas
+  std::size_t nameIndex = 0;   // token index of the name (lambdas: the '[')
+  std::size_t paramsBegin = 0; // index of '(' (== paramsEnd when absent)
+  std::size_t paramsEnd = 0;   // index of the matching ')'
+  std::size_t bodyBegin = 0;   // index of the body '{'
+  std::size_t bodyEnd = 0;     // index of the matching '}'
+  std::size_t returnBegin = 0; // first token of the return type (lambdas: 0)
+  bool lambda = false;
+};
+
+struct ScopeInfo {
+  /// Per token: number of enclosing loops *within the innermost function*
+  /// (entering a function or lambda body resets the count — a lambda defined
+  /// inside a loop does not make its body "in a loop").
+  std::vector<int> loopDepth;
+  std::vector<FunctionDef> functions;
+};
+
+ScopeInfo analyzeScopes(const std::vector<Token>& tokens);
+
+/// True for the solver hot path: lp/, mip/, tip/ (substring match on the
+/// /-normalized path, same convention as DSL005).
+bool hotPath(const std::string& normalizedPath);
+
+/// DSL100..DSL107 — perf rules, applied only to hotPath() files.
+void checkPerfRules(const FileLint& lint, const ScopeInfo& scopes);
+
+}  // namespace dynsched::lint::internal

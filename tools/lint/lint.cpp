@@ -9,6 +9,8 @@
 #include <set>
 #include <sstream>
 
+#include "lint/internal.hpp"
+
 namespace dynsched::lint {
 
 namespace {
@@ -33,6 +35,24 @@ const std::vector<RuleInfo> kRules = {
                "must be bit-reproducible"},
     {"DSL007", "catch (...) whose handler never rethrows — the error is "
                "silently dropped"},
+    {"DSL100", "heap allocation inside a loop in a hot-path file (new / "
+               "make_unique / make_shared) — hoist or pool the allocation"},
+    {"DSL101", "container or heavy model object constructed inside a loop in "
+               "a hot-path file — hoist the buffer and reuse its capacity"},
+    {"DSL102", "push_back/emplace_back in a loop with no reserve()/resize() "
+               "for that container anywhere in the file"},
+    {"DSL103", "non-trivial parameter (vector/string/model struct) passed by "
+               "value in a hot-path function definition — take const& (or "
+               "move the sink param into place)"},
+    {"DSL104", "repeated map operator[]/at() lookups with the same key in "
+               "one function — hoist a reference to the mapped value"},
+    {"DSL105", "std::endl / per-iteration stream flush in a hot-path file — "
+               "use '\\n' and flush once at the end"},
+    {"DSL106", "shared_ptr copied where a reference suffices (by-value "
+               "param or per-iteration copy) — pass const& / use the raw "
+               "object"},
+    {"DSL107", "heavy container returned by value from a per-node B&B "
+               "helper — write into a caller-owned buffer instead"},
 };
 
 bool knownRule(const std::string& id) {
@@ -46,26 +66,13 @@ std::string normalizePath(const std::string& path) {
   return out;
 }
 
+}  // namespace
+
+namespace internal {
+
 bool pathHas(const std::string& normalized, std::string_view piece) {
   return normalized.find(piece) != std::string::npos;
 }
-
-// ---------------------------------------------------------------------------
-// Source preprocessing: blank comments and literals out of the "code view"
-// (preserving offsets) while harvesting suppression directives from the
-// comment text.
-
-struct Suppression {
-  std::set<std::string> rules;
-  bool valid = false;     // parsed cleanly with a known ID and a reason
-  std::string problem;    // why it is malformed (DSL000 message)
-};
-
-struct SourceView {
-  std::string code;                        // literals/comments -> spaces
-  std::vector<std::string> lines;          // raw source lines (for snippets)
-  std::map<std::size_t, Suppression> suppressions;  // by 1-based line
-};
 
 std::string trimCopy(std::string_view text) {
   std::size_t begin = 0;
@@ -80,6 +87,31 @@ std::string trimCopy(std::string_view text) {
   }
   return std::string(text.substr(begin, end - begin));
 }
+
+std::string lowered(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::FileLint;
+using internal::SourceView;
+using internal::Suppression;
+using internal::Token;
+using internal::isStdQualified;
+using internal::lowered;
+using internal::pathHas;
+using internal::trimCopy;
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: blank comments and literals out of the "code view"
+// (preserving offsets) while harvesting suppression directives from the
+// comment text.
 
 /// Parses an allow(RULE-ID[, RULE-ID]) reason directive out of a comment.
 void parseDirective(std::string_view comment, std::size_t line,
@@ -130,6 +162,10 @@ void parseDirective(std::string_view comment, std::size_t line,
 bool identByte(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
+
+}  // namespace
+
+namespace internal {
 
 SourceView preprocess(std::string_view text) {
   SourceView view;
@@ -257,13 +293,7 @@ SourceView preprocess(std::string_view text) {
 // ---------------------------------------------------------------------------
 // Tokenizer over the code view
 
-struct Token {
-  enum class Kind { Ident, Number, Punct };
-  Kind kind;
-  std::string text;
-  std::size_t line;    // 1-based
-  std::size_t column;  // 1-based
-};
+namespace {
 
 bool identStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -271,6 +301,8 @@ bool identStart(char c) {
 bool identChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
+
+}  // namespace
 
 std::vector<Token> tokenize(const std::string& code) {
   std::vector<Token> tokens;
@@ -326,41 +358,17 @@ std::vector<Token> tokenize(const std::string& code) {
   return tokens;
 }
 
-// ---------------------------------------------------------------------------
-// Finding helpers
-
-struct FileLint {
-  const std::string& path;       // normalized
-  const SourceView& view;
-  const std::vector<Token>& tokens;
-  std::vector<Finding>& findings;
-
-  void report(const std::string& rule, std::size_t line, std::size_t column,
-              std::string message) const {
-    for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
-      const auto it = view.suppressions.find(at);
-      if (it != view.suppressions.end() && it->second.valid &&
-          it->second.rules.count(rule) > 0) {
-        return;  // explicitly allowed, with a reason
-      }
-    }
-    Finding finding;
-    finding.file = path;
-    finding.line = line;
-    finding.column = column;
-    finding.rule = rule;
-    finding.message = std::move(message);
-    if (line >= 1 && line <= view.lines.size()) {
-      finding.snippet = trimCopy(view.lines[line - 1]);
-    }
-    findings.push_back(std::move(finding));
-  }
-};
-
 bool isStdQualified(const std::vector<Token>& tokens, std::size_t identIndex) {
   return identIndex >= 2 && tokens[identIndex - 1].text == "::" &&
          tokens[identIndex - 2].text == "std";
 }
+
+}  // namespace internal
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural rules (DSL00x)
 
 // DSL000 — malformed suppressions are findings in their own right.
 void checkSuppressions(const FileLint& lint) {
@@ -499,13 +507,6 @@ const std::set<std::string>& sizeNames() {
   return kNames;
 }
 
-std::string lowered(std::string text) {
-  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return text;
-}
-
 /// Walks a postfix chain backwards from `index` (exclusive) and returns the
 /// last-named identifier: `grid.slots()` -> "slots", `a.size()` -> "size",
 /// plain `jobs` -> "jobs". Returns "" if the shape is not a value chain.
@@ -544,12 +545,103 @@ std::string rightOperandName(const std::vector<Token>& tokens,
   return name;
 }
 
-void checkUncheckedSizeArith(const FileLint& lint) {
-  if (!pathHas(lint.path, "/tip/") && !pathHas(lint.path, "/lp/") &&
-      !pathHas(lint.path, "/mip/") && !pathHas(lint.path, "tip/") &&
-      !pathHas(lint.path, "lp/") && !pathHas(lint.path, "mip/")) {
-    return;
+/// True when `closeParen` ends a static_cast<W>(...) group whose target W is
+/// a 64-bit-wide (or wider) integer — the widening casts DSL005 asks for.
+bool wideningCastEndsAt(const std::vector<Token>& tokens,
+                        std::size_t closeParen, std::size_t& castBegin) {
+  // Match ')' back to its '('.
+  int depth = 1;
+  std::size_t open = closeParen;
+  while (open > 0 && depth > 0) {
+    --open;
+    if (tokens[open].text == ")") ++depth;
+    if (tokens[open].text == "(") --depth;
   }
+  if (depth != 0 || open == 0) return false;
+  if (tokens[open - 1].text != ">") return false;
+  // Match '>' back to its '<' (tokenizer never merges '>>' here: the cast
+  // target is a plain type, and nested templates inside static_cast<> do
+  // not appear in size arithmetic).
+  int angle = 1;
+  std::size_t lt = open - 1;
+  while (lt > 0 && angle > 0) {
+    --lt;
+    if (tokens[lt].text == ">") ++angle;
+    if (tokens[lt].text == "<") --angle;
+  }
+  if (angle != 0 || lt == 0) return false;
+  if (tokens[lt - 1].text != "static_cast") return false;
+  static const std::set<std::string> kWide = {
+      "size_t",   "int64_t",  "uint64_t", "intmax_t", "uintmax_t",
+      "ptrdiff_t", "long",    "Time"};
+  // Last identifier of the target type ("std :: size_t" -> size_t).
+  std::string target;
+  for (std::size_t q = lt + 1; q < open - 1; ++q) {
+    if (tokens[q].kind == Token::Kind::Ident) target = tokens[q].text;
+  }
+  if (kWide.count(target) == 0) return false;
+  castBegin = lt - 1;
+  return true;
+}
+
+/// True when the *-/+ chain to the left of `opIndex` (same paren depth)
+/// starts with a widening static_cast: in
+///   static_cast<std::size_t>(slots) * width + count
+/// the '+' must not fire — the whole chain is already evaluated at the
+/// cast's width. Walks operand-by-operand leftwards over '*', '+', '-'.
+bool leftChainWidened(const std::vector<Token>& tokens, std::size_t opIndex) {
+  std::size_t op = opIndex;
+  while (op > 0) {
+    // Find the start of the operand directly left of tokens[op].
+    std::size_t last = op - 1;  // last token of the operand
+    std::size_t first = last;
+    if (tokens[last].text == ")") {
+      std::size_t castBegin = 0;
+      if (wideningCastEndsAt(tokens, last, castBegin)) return true;
+      int depth = 1;
+      while (first > 0 && depth > 0) {
+        --first;
+        if (tokens[first].text == ")") ++depth;
+        if (tokens[first].text == "(") --depth;
+      }
+      if (depth != 0) return false;
+      // Pull in the callee chain: grid.slots() — operand starts at 'grid'.
+      while (first > 0) {
+        const Token& prev = tokens[first - 1];
+        if (prev.kind == Token::Kind::Ident || prev.text == "." ||
+            prev.text == "->" || prev.text == "::") {
+          --first;
+        } else {
+          break;
+        }
+      }
+    } else if (tokens[last].kind == Token::Kind::Ident ||
+               tokens[last].kind == Token::Kind::Number) {
+      while (first > 0) {
+        const Token& prev = tokens[first - 1];
+        if (prev.kind == Token::Kind::Ident || prev.text == "." ||
+            prev.text == "->" || prev.text == "::") {
+          --first;
+        } else {
+          break;
+        }
+      }
+    } else {
+      return false;  // not a value operand (unary op, bracket, ...)
+    }
+    if (first == 0) return false;
+    const std::string& before = tokens[first - 1].text;
+    if (before == "*" || before == "+" || before == "-") {
+      op = first - 1;  // keep walking the chain leftwards
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+void checkUncheckedSizeArith(const FileLint& lint) {
+  if (!internal::hotPath(lint.path)) return;
   const std::vector<Token>& tokens = lint.tokens;
   for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
     if (tokens[i].kind != Token::Kind::Punct ||
@@ -562,6 +654,11 @@ void checkUncheckedSizeArith(const FileLint& lint) {
     if (sizeNames().count(left) == 0 || sizeNames().count(right) == 0) {
       continue;
     }
+    // An operand chain already hoisted to 64-bit width by a static_cast is
+    // checked arithmetic's moral equivalent for the narrow-operand case:
+    //   static_cast<std::size_t>(slots) * width + count
+    // evaluates left-to-right at size_t width — do not fire on the '+'.
+    if (leftChainWidened(tokens, i)) continue;
     // Escape hatches the token scan can verify: the expression already
     // routes through checked arithmetic, or is explicitly floating-point.
     const std::size_t line = tokens[i].line;
@@ -656,8 +753,8 @@ const std::vector<RuleInfo>& ruleCatalog() { return kRules; }
 std::vector<Finding> lintFile(const std::string& path,
                               std::string_view contents) {
   const std::string normalized = normalizePath(path);
-  const SourceView view = preprocess(contents);
-  const std::vector<Token> tokens = tokenize(view.code);
+  const SourceView view = internal::preprocess(contents);
+  const std::vector<Token> tokens = internal::tokenize(view.code);
   std::vector<Finding> findings;
   const FileLint lint{normalized, view, tokens, findings};
   checkSuppressions(lint);
@@ -668,6 +765,8 @@ std::vector<Finding> lintFile(const std::string& path,
   checkUncheckedSizeArith(lint);
   checkRawRandomness(lint);
   checkCatchAllDrops(lint);
+  const internal::ScopeInfo scopes = internal::analyzeScopes(tokens);
+  internal::checkPerfRules(lint, scopes);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
@@ -760,6 +859,88 @@ std::string renderText(const LintResult& result) {
      << result.filesScanned << " file"
      << (result.filesScanned == 1 ? "" : "s") << " scanned\n";
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: a recorded multiset of findings, keyed by rule + file + snippet
+// (never the line number — the baseline must survive unrelated edits above
+// the finding). Used to land new rule families incrementally: record, then
+// report only findings that are not in the record.
+
+namespace {
+
+constexpr std::string_view kBaselineHeader = "# dynsched-lint baseline v1";
+
+std::string baselineKey(const Finding& finding) {
+  return finding.rule + "\t" + finding.file + "\t" + finding.snippet;
+}
+
+}  // namespace
+
+std::string renderBaseline(const LintResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.findings.size());
+  for (const Finding& finding : result.findings) {
+    keys.push_back(baselineKey(finding));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  os << kBaselineHeader << '\n';
+  for (const std::string& key : keys) os << key << '\n';
+  return os.str();
+}
+
+BaselineResult applyBaseline(LintResult& result,
+                             std::string_view baselineText) {
+  BaselineResult outcome;
+  std::map<std::string, std::size_t> allowed;
+  std::size_t lineNo = 0;
+  std::size_t start = 0;
+  bool sawHeader = false;
+  while (start <= baselineText.size()) {
+    const std::size_t end = baselineText.find('\n', start);
+    const std::string_view line = baselineText.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    start = end == std::string_view::npos ? baselineText.size() + 1 : end + 1;
+    ++lineNo;
+    if (lineNo == 1) {
+      if (line != kBaselineHeader) {
+        outcome.error = "baseline does not start with '" +
+                        std::string(kBaselineHeader) +
+                        "' — not a dynsched-lint baseline file";
+        return outcome;
+      }
+      sawHeader = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    if (std::count(line.begin(), line.end(), '\t') != 2) {
+      outcome.error = "baseline line " + std::to_string(lineNo) +
+                      " is not 'rule<TAB>file<TAB>snippet'";
+      return outcome;
+    }
+    ++allowed[std::string(line)];
+  }
+  if (!sawHeader) {
+    outcome.error = "empty baseline file";
+    return outcome;
+  }
+  std::vector<Finding> fresh;
+  for (Finding& finding : result.findings) {
+    const auto it = allowed.find(baselineKey(finding));
+    if (it != allowed.end() && it->second > 0) {
+      --it->second;
+      ++outcome.suppressed;
+    } else {
+      fresh.push_back(std::move(finding));
+    }
+  }
+  result.findings = std::move(fresh);
+  for (const auto& [key, count] : allowed) {
+    for (std::size_t i = 0; i < count; ++i) outcome.stale.push_back(key);
+  }
+  return outcome;
 }
 
 namespace {

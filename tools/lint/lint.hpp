@@ -1,11 +1,12 @@
 // dynsched-lint — project-rule linter for the dynsched tree.
 //
-// A token/line-level scanner (no libclang) that enforces the project rules
-// the generic tools cannot express — which primitives are allowed where.
+// A token-level scanner with a lightweight scope analysis (no libclang) that
+// enforces the project rules the generic tools cannot express — which
+// primitives are allowed where, and what the solver hot path may allocate.
 // Generic analyzers know what a data race is; only the project knows that
 // every mutex must be a capability-annotated util::Mutex, that threads are
-// only spawned by util::ThreadPool, or that files are only written through
-// util::atomicWriteFile. Each rule has a stable ID, a structured finding,
+// only spawned by util::ThreadPool, or that the per-node B&B code must not
+// allocate per iteration. Each rule has a stable ID, a structured finding,
 // and a suppression syntax:
 //
 //   // dynsched-lint: allow(DSL004) reason why this raw write is correct
@@ -13,7 +14,8 @@
 // on the offending line or the line directly above. A suppression without a
 // reason is itself a finding (DSL000) — "trust me" is not a reason.
 //
-// Rules (scoping paths are substring matches on /-normalized paths):
+// Structural rules (scoping paths are substring matches on /-normalized
+// paths):
 //   DSL000  malformed suppression (unknown rule ID or missing reason)
 //   DSL001  raw std::mutex / condition_variable / lock types outside
 //           util/mutex.hpp — use util::Mutex/MutexLock/CondVar so
@@ -27,12 +29,29 @@
 //           util::atomicWriteFile (crash-safe temp+rename)
 //   DSL005  unchecked * or + between model-size expressions in tip/, lp/,
 //           mip/ — route through util::checkedMul/checkedAdd (2^63
-//           overflow on width·time·count products is UB)
+//           overflow on width·time·count products is UB); chains already
+//           widened by a static_cast<size_t/int64_t/...> do not fire
 //   DSL006  rand()/srand()/std:: random machinery outside util/rng —
 //           benches must be bit-reproducible across standard libraries
 //   DSL007  catch (...) whose handler neither rethrows nor captures the
 //           exception (std::current_exception) — errors must not be
 //           silently dropped
+//
+// Performance rules (hot path only: files under lp/, mip/, tip/ — the code
+// that runs per simplex iteration / per B&B node; see DESIGN.md §8):
+//   DSL100  new / make_unique / make_shared inside a loop
+//   DSL101  container or heavy model object (ResourceProfile, Schedule,
+//           LpModel, ...) constructed inside a loop — hoist and reuse
+//   DSL102  push_back/emplace_back in a loop with no reserve()/resize()
+//           for that container anywhere in the file
+//   DSL103  non-trivial parameter passed by value in a function definition
+//           (exempt when the body std::move()s it into place — sink params)
+//   DSL104  repeated map operator[]/at() lookups with the same key inside
+//           one function — hoist a reference
+//   DSL105  std::endl anywhere, or stream flush inside a loop
+//   DSL106  shared_ptr copies (by-value param / per-iteration copy)
+//   DSL107  heavy container returned by value from a per-node B&B helper
+//           (name contains node/child/candidate/branch/dfs/separate/...)
 #pragma once
 
 #include <cstddef>
@@ -46,7 +65,7 @@ struct Finding {
   std::string file;
   std::size_t line = 0;    ///< 1-based
   std::size_t column = 0;  ///< 1-based
-  std::string rule;        ///< "DSL001" ... "DSL007", "DSL000"
+  std::string rule;        ///< "DSL001" ... "DSL107", "DSL000"
   std::string message;
   std::string snippet;     ///< the offending source line, whitespace-trimmed
 };
@@ -82,5 +101,23 @@ std::string renderText(const LintResult& result);
 /// Machine-readable report: {tool, version, filesScanned, findings: [{file,
 /// line, column, rule, message, snippet}], counts: {RULE: n}, total}.
 std::string renderJson(const LintResult& result);
+
+/// Serializes the findings as a baseline file: a header line followed by
+/// one sorted "rule<TAB>file<TAB>snippet" line per finding. Line numbers
+/// are deliberately absent so the record survives unrelated edits.
+std::string renderBaseline(const LintResult& result);
+
+struct BaselineResult {
+  std::size_t suppressed = 0;      ///< findings matched (and removed)
+  std::vector<std::string> stale;  ///< recorded entries that no longer fire
+  std::string error;               ///< non-empty: baseline unusable (exit 2)
+};
+
+/// Filters result.findings in place against a recorded baseline: findings
+/// present in the record (multiset match on rule+file+snippet) are dropped,
+/// only new ones remain. Stale entries — recorded findings that no longer
+/// fire — are reported so the baseline can be re-recorded smaller.
+BaselineResult applyBaseline(LintResult& result,
+                             std::string_view baselineText);
 
 }  // namespace dynsched::lint

@@ -1,0 +1,876 @@
+// Hot-path performance rules (DSL100..DSL107) and the scope analysis that
+// powers them. The analysis is a heuristic single pass over the token
+// stream: it tracks brace scopes (block / loop / function), loop nesting
+// per token (reset inside lambda and function bodies), and records every
+// function definition with its parameter list, body range, and return-type
+// tokens. It is deliberately conservative — each rule only consumes facts
+// the pass is confident about, so a miss costs a finding, never a false
+// build break.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/internal.hpp"
+
+namespace dynsched::lint::internal {
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool isIdent(const Token& t) { return t.kind == Kind::Ident; }
+
+/// Matches tokens[open] == "(" forward to its ")". Returns tokens.size() on
+/// imbalance.
+std::size_t matchParen(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") ++depth;
+    if (tokens[i].text == ")") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+/// Matches tokens[open] == "{" forward to its "}".
+std::size_t matchBrace(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "{") ++depth;
+    if (tokens[i].text == "}") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+/// Skips a balanced template argument list: tokens[at] == "<"; returns the
+/// index just past the closing ">". The tokenizer emits ">>" as one token,
+/// which closes two levels. Returns `at` unchanged if the list does not
+/// close within the statement (then "<" was a comparison, not a template).
+std::size_t skipTemplateArgs(const std::vector<Token>& tokens,
+                             std::size_t at) {
+  int depth = 0;
+  for (std::size_t i = at; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">") --depth;
+    else if (t == ">>") depth -= 2;
+    else if (t == ";" || t == "{" || t == "}") return at;  // not a template
+    if (depth <= 0) return i + 1;
+  }
+  return at;
+}
+
+const std::set<std::string>& keywordSet() {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",   "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "do",   "else",   "case",
+      "new",    "delete", "throw", "static_assert", "alignas", "co_await",
+      "co_return", "co_yield", "goto", "default", "operator", "requires"};
+  return kKeywords;
+}
+
+// ---------------------------------------------------------------------------
+// Function-definition pre-pass
+
+/// Recognizes function definitions by shape: `name ( params ) [qualifiers]
+/// [-> type] [: init-list] {`. Plain calls never survive the filter — a
+/// call is followed by `;`/`,`/operator, and a call statement has no
+/// return-type tokens before the name. Also recognizes lambdas:
+/// `[captures] [(params)] [specifiers] [-> type] {`.
+void findFunctions(const std::vector<Token>& tokens,
+                   std::vector<FunctionDef>& out,
+                   std::map<std::size_t, std::size_t>& bodyIndex) {
+  const std::size_t n = tokens.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // ---- lambdas: '[' not preceded by a value (ident / ')' / ']') ----
+    if (tokens[i].text == "[") {
+      const bool subscript =
+          i > 0 && (isIdent(tokens[i - 1]) || tokens[i - 1].text == ")" ||
+                    tokens[i - 1].text == "]");
+      if (subscript) continue;
+      // match ']'
+      int depth = 0;
+      std::size_t close = n;
+      for (std::size_t j = i; j < n; ++j) {
+        if (tokens[j].text == "[") ++depth;
+        if (tokens[j].text == "]") {
+          --depth;
+          if (depth == 0) { close = j; break; }
+        }
+      }
+      if (close == n) continue;
+      std::size_t j = close + 1;
+      FunctionDef def;
+      def.lambda = true;
+      def.name = "<lambda>";
+      def.nameIndex = i;
+      if (j < n && tokens[j].text == "(") {
+        def.paramsBegin = j;
+        def.paramsEnd = matchParen(tokens, j);
+        if (def.paramsEnd == n) continue;
+        j = def.paramsEnd + 1;
+      }
+      while (j < n && isIdent(tokens[j]) &&
+             (tokens[j].text == "mutable" || tokens[j].text == "noexcept" ||
+              tokens[j].text == "constexpr")) {
+        ++j;
+      }
+      if (j < n && tokens[j].text == "->") {
+        ++j;
+        while (j < n && tokens[j].text != "{" && tokens[j].text != ";" &&
+               tokens[j].text != ")") {
+          if (tokens[j].text == "<") {
+            const std::size_t past = skipTemplateArgs(tokens, j);
+            if (past == j) break;
+            j = past;
+          } else {
+            ++j;
+          }
+        }
+      }
+      if (j >= n || tokens[j].text != "{") continue;
+      def.bodyBegin = j;
+      def.bodyEnd = matchBrace(tokens, j);
+      if (def.bodyEnd == n) continue;
+      bodyIndex.emplace(def.bodyBegin, out.size());
+      out.push_back(def);
+      continue;
+    }
+
+    // ---- named functions: Ident '(' ----
+    if (!isIdent(tokens[i]) || i + 1 >= n || tokens[i + 1].text != "(") {
+      continue;
+    }
+    if (keywordSet().count(tokens[i].text) > 0) continue;
+    // Member calls (`x.f(...)`) are never definitions.
+    if (i > 0 &&
+        (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
+      continue;
+    }
+    const std::size_t paramsEnd = matchParen(tokens, i + 1);
+    if (paramsEnd == n) continue;
+    // Walk forward over trailing qualifiers to find the body '{' (or bail:
+    // declaration / expression).
+    std::size_t j = paramsEnd + 1;
+    bool sawInitList = false;
+    while (j < n) {
+      const std::string& t = tokens[j].text;
+      if (t == "{") break;
+      if (t == "const" || t == "noexcept" || t == "override" ||
+          t == "final" || t == "mutable" || t == "try") {
+        ++j;
+        continue;
+      }
+      if (t == "(") {  // noexcept(...) or a macro qualifier's arguments
+        const std::size_t close = matchParen(tokens, j);
+        if (close == n) { j = n; break; }
+        j = close + 1;
+        continue;
+      }
+      if (isIdent(tokens[j]) && tokens[j].text.rfind("DYNSCHED_", 0) == 0) {
+        ++j;  // attribute macro, possibly followed by '(' handled above
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++j;
+        while (j < n && tokens[j].text != "{" && tokens[j].text != ";") {
+          if (tokens[j].text == "<") {
+            const std::size_t past = skipTemplateArgs(tokens, j);
+            if (past == j) break;
+            j = past;
+          } else {
+            ++j;
+          }
+        }
+        continue;
+      }
+      if (t == ":" && !sawInitList) {  // constructor init list
+        sawInitList = true;
+        ++j;
+        // Skip `name(args)` / `name{args}` [, ...] up to the body '{' — an
+        // initializer's '{' is directly preceded by an identifier, the
+        // body's '{' by ')' or '}'.
+        while (j < n) {
+          if (tokens[j].text == "{" && j > 0 &&
+              (tokens[j - 1].text == ")" || tokens[j - 1].text == "}")) {
+            break;
+          }
+          if (tokens[j].text == "(") {
+            const std::size_t close = matchParen(tokens, j);
+            if (close == n) { j = n; break; }
+            j = close + 1;
+            continue;
+          }
+          if (tokens[j].text == "{") {
+            const std::size_t close = matchBrace(tokens, j);
+            if (close == n) { j = n; break; }
+            j = close + 1;
+            continue;
+          }
+          if (tokens[j].text == ";") { j = n; break; }
+          ++j;
+        }
+        continue;
+      }
+      j = n;  // ';', '=', ',', operator ... — not a definition
+      break;
+    }
+    if (j >= n || tokens[j].text != "{") continue;
+
+    // Return-type tokens: walk backwards from the name over type shapes.
+    // A definition has a return type (or is a ctor/dtor qualified by '::');
+    // a call statement has neither — its name follows ';', '{', '}', '='...
+    std::size_t returnBegin = i;
+    while (returnBegin > 0) {
+      const Token& prev = tokens[returnBegin - 1];
+      if (prev.text == "::" || prev.text == "*" || prev.text == "&" ||
+          prev.text == "&&" || prev.text == "~") {
+        --returnBegin;
+        continue;
+      }
+      if (prev.text == ">" || prev.text == ">>") {
+        // closing of a template type in the return position — scan back to
+        // its '<'
+        int depth = prev.text == ">>" ? 2 : 1;
+        std::size_t k = returnBegin - 1;
+        bool ok = false;
+        while (k > 0 && depth > 0) {
+          --k;
+          if (tokens[k].text == ">") ++depth;
+          else if (tokens[k].text == ">>") depth += 2;
+          else if (tokens[k].text == "<") --depth;
+          if (tokens[k].text == ";" || tokens[k].text == "{" ||
+              tokens[k].text == "}") {
+            break;
+          }
+        }
+        if (depth == 0) { returnBegin = k; ok = true; }
+        if (!ok) break;
+        continue;
+      }
+      if (isIdent(prev)) {
+        if (keywordSet().count(prev.text) > 0) break;
+        if (prev.text == "else" || prev.text == "return") break;
+        --returnBegin;
+        continue;
+      }
+      if (prev.text == ",") break;  // template args of an enclosing list
+      break;
+    }
+    const bool qualifiedName =
+        i >= 2 && tokens[i - 1].text == "::";  // Foo::bar / Foo::Foo
+    if (returnBegin == i && !qualifiedName) continue;  // a call, not a def
+    // `tokens[returnBegin]` may still be a specifier (static/inline/...);
+    // that is fine — DSL107 only looks for container names and '&'.
+
+    FunctionDef def;
+    def.name = tokens[i].text;
+    def.nameIndex = i;
+    def.paramsBegin = i + 1;
+    def.paramsEnd = paramsEnd;
+    def.bodyBegin = j;
+    def.bodyEnd = matchBrace(tokens, j);
+    if (def.bodyEnd == n) continue;
+    def.returnBegin = returnBegin;
+    bodyIndex.emplace(def.bodyBegin, out.size());
+    out.push_back(def);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scope walk: loop depth per token
+
+ScopeInfo analyzeScopes(const std::vector<Token>& tokens) {
+  ScopeInfo info;
+  info.loopDepth.assign(tokens.size(), 0);
+  std::map<std::size_t, std::size_t> bodyIndex;  // '{' index -> function
+  findFunctions(tokens, info.functions, bodyIndex);
+
+  struct Open {
+    enum Kind { Block, Loop, Function } kind;
+    int savedLoopDepth = 0;     // Function: depth to restore on '}'
+    int absorbedSingleLoops = 0;  // single-stmt loop levels ending here
+  };
+  std::vector<Open> stack;
+  int loopDepth = 0;
+  int pendingSingleLoops = 0;  // entered loops whose body has no braces yet
+  bool nextBraceIsLoop = false;
+
+  const std::size_t n = tokens.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& tok = tokens[i];
+    info.loopDepth[i] = loopDepth;
+
+    if (isIdent(tok) && (tok.text == "for" || tok.text == "while")) {
+      // `} while (...)` after a do-body is the loop tail, not a new loop.
+      const bool doTail =
+          tok.text == "while" && i > 0 && tokens[i - 1].text == "}";
+      if (i + 1 < n && tokens[i + 1].text == "(") {
+        const std::size_t close = matchParen(tokens, i + 1);
+        // Header tokens carry the *outer* depth.
+        for (std::size_t k = i; k <= close && k < n; ++k) {
+          info.loopDepth[k] = loopDepth;
+        }
+        if (close >= n) { i = n; break; }
+        i = close + 1;
+        if (doTail) continue;
+        if (i < n && tokens[i].text == "{") {
+          nextBraceIsLoop = true;
+        } else if (i < n && tokens[i].text != ";") {
+          // Single-statement body: in-loop until the terminating ';'.
+          ++loopDepth;
+          ++pendingSingleLoops;
+        }
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (isIdent(tok) && tok.text == "do" && i + 1 < n &&
+        tokens[i + 1].text == "{") {
+      nextBraceIsLoop = true;
+      ++i;
+      continue;
+    }
+    if (tok.text == "{") {
+      Open open;
+      open.absorbedSingleLoops = pendingSingleLoops;
+      pendingSingleLoops = 0;
+      const auto fn = bodyIndex.find(i);
+      if (nextBraceIsLoop) {
+        open.kind = Open::Loop;
+        ++loopDepth;
+        nextBraceIsLoop = false;
+      } else if (fn != bodyIndex.end()) {
+        open.kind = Open::Function;
+        open.savedLoopDepth = loopDepth;
+        loopDepth = 0;
+      } else {
+        open.kind = Open::Block;
+      }
+      stack.push_back(open);
+      ++i;
+      continue;
+    }
+    if (tok.text == "}") {
+      if (!stack.empty()) {
+        const Open open = stack.back();
+        stack.pop_back();
+        if (open.kind == Open::Loop) {
+          --loopDepth;
+        } else if (open.kind == Open::Function) {
+          loopDepth = open.savedLoopDepth;
+        }
+        loopDepth -= open.absorbedSingleLoops;
+        if (loopDepth < 0) loopDepth = 0;
+      }
+      ++i;
+      continue;
+    }
+    if (tok.text == ";" && pendingSingleLoops > 0) {
+      loopDepth -= pendingSingleLoops;
+      if (loopDepth < 0) loopDepth = 0;
+      pendingSingleLoops = 0;
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return info;
+}
+
+bool hotPath(const std::string& normalizedPath) {
+  return pathHas(normalizedPath, "/lp/") || pathHas(normalizedPath, "/mip/") ||
+         pathHas(normalizedPath, "/tip/") ||
+         normalizedPath.rfind("lp/", 0) == 0 ||
+         normalizedPath.rfind("mip/", 0) == 0 ||
+         normalizedPath.rfind("tip/", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+
+namespace {
+
+/// std containers whose construction allocates (or will, once grown).
+const std::set<std::string>& stdContainers() {
+  static const std::set<std::string> kContainers = {
+      "vector", "string",        "deque",         "list",
+      "map",    "multimap",      "unordered_map", "set",
+      "multiset", "unordered_set", "queue",       "priority_queue",
+      "stack"};
+  return kContainers;
+}
+
+/// Project model/view structs that own heap storage — copying one inside a
+/// loop is a hidden allocation.
+const std::set<std::string>& heavyProjectTypes() {
+  static const std::set<std::string> kHeavy = {
+      "ResourceProfile", "Schedule",  "LpModel",       "MipModel",
+      "TipInstance",     "MachineHistory", "StepSnapshot", "StudyRow",
+      "TimIndexedModel", "LpResult", "MipResult"};
+  return kHeavy;
+}
+
+/// A pure value chain: identifiers joined by . / -> / :: with optional
+/// [index] subscripts — i.e. a copy source, not a function call.
+bool isIdentChain(const std::vector<Token>& tokens, std::size_t begin,
+                  std::size_t end) {
+  if (begin >= end) return false;
+  bool sawIdent = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = tokens[i];
+    if (isIdent(t) || t.kind == Kind::Number) {
+      sawIdent = true;
+      continue;
+    }
+    if (t.text == "." || t.text == "->" || t.text == "::" ||
+        t.text == "[" || t.text == "]" || t.text == "*") {
+      continue;  // '*' allows `*it` dereference copies
+    }
+    return false;
+  }
+  return sawIdent;
+}
+
+/// Steps back from a type token over decl-specifiers; true if any of them
+/// makes the declaration non-per-iteration (static / constexpr / ...).
+bool hasStaticSpecifier(const std::vector<Token>& tokens, std::size_t typeAt) {
+  std::size_t i = typeAt;
+  // `std :: vector` — step back over the qualification first.
+  while (i >= 2 && tokens[i - 1].text == "::" && isIdent(tokens[i - 2])) {
+    i -= 2;
+  }
+  while (i > 0) {
+    const Token& prev = tokens[i - 1];
+    if (!isIdent(prev)) break;
+    if (prev.text == "static" || prev.text == "constexpr" ||
+        prev.text == "thread_local") {
+      return true;
+    }
+    if (prev.text == "const" || prev.text == "inline" ||
+        prev.text == "mutable") {
+      --i;
+      continue;
+    }
+    break;
+  }
+  return false;
+}
+
+struct Decl {
+  std::string type;       // last type identifier ("vector", "Schedule", ...)
+  std::size_t typeIndex;  // token index of that identifier
+  std::size_t nameIndex;  // token index of the declared variable
+  std::size_t initBegin;  // first token after '=' or '(' (0 when none)
+  std::size_t initEnd;    // matching ';' or ')' (exclusive)
+  char initKind;          // '=', '(', '{', or 0 for plain `T x;`
+};
+
+/// Tries to parse a variable declaration starting at the type identifier
+/// `i`. Returns false for references, pointers, usages, and non-decl shapes.
+bool parseDecl(const std::vector<Token>& tokens, std::size_t i, Decl& out) {
+  const std::size_t n = tokens.size();
+  std::size_t j = i + 1;
+  if (j < n && tokens[j].text == "<") {
+    const std::size_t past = skipTemplateArgs(tokens, j);
+    if (past == j) return false;  // comparison, not a template
+    j = past;
+  }
+  if (j >= n) return false;
+  if (tokens[j].text == "&" || tokens[j].text == "&&" ||
+      tokens[j].text == "*") {
+    return false;  // reference/pointer declaration — no allocation
+  }
+  if (!isIdent(tokens[j])) return false;
+  if (keywordSet().count(tokens[j].text) > 0) return false;
+  out.type = tokens[i].text;
+  out.typeIndex = i;
+  out.nameIndex = j;
+  out.initBegin = 0;
+  out.initEnd = 0;
+  out.initKind = 0;
+  if (j + 1 >= n) return false;
+  const std::string& after = tokens[j + 1].text;
+  if (after == ";") return true;
+  if (after == "=") {
+    out.initKind = '=';
+    out.initBegin = j + 2;
+    std::size_t k = j + 2;
+    int paren = 0;
+    while (k < n && (paren > 0 || tokens[k].text != ";")) {
+      if (tokens[k].text == "(" || tokens[k].text == "{") ++paren;
+      if (tokens[k].text == ")" || tokens[k].text == "}") --paren;
+      ++k;
+    }
+    out.initEnd = k;
+    return true;
+  }
+  if (after == "(") {
+    const std::size_t close = matchParen(tokens, j + 1);
+    if (close == n) return false;
+    // `T x(...)` is only a declaration when followed by ';' — otherwise it
+    // was a call on a same-named function.
+    if (close + 1 < n && tokens[close + 1].text != ";") return false;
+    out.initKind = '(';
+    out.initBegin = j + 2;
+    out.initEnd = close;
+    return true;
+  }
+  if (after == "{") {
+    const std::size_t close = matchBrace(tokens, j + 1);
+    if (close == n) return false;
+    out.initKind = '{';
+    out.initBegin = j + 2;
+    out.initEnd = close;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// DSL100 — explicit heap allocation inside a loop.
+
+void checkAllocInLoop(const FileLint& lint, const ScopeInfo& scopes) {
+  const std::vector<Token>& tokens = lint.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!isIdent(tokens[i]) || scopes.loopDepth[i] <= 0) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "new") {
+      if (i > 0 && tokens[i - 1].text == "operator") continue;
+      lint.report("DSL100", tokens[i].line, tokens[i].column,
+                  "'new' inside a loop on the hot path — every B&B node / "
+                  "simplex iteration pays the allocator; hoist the object "
+                  "or use a pooled buffer");
+      continue;
+    }
+    if ((t == "make_unique" || t == "make_shared") &&
+        i + 1 < tokens.size() &&
+        (tokens[i + 1].text == "<" || tokens[i + 1].text == "(")) {
+      lint.report("DSL100", tokens[i].line, tokens[i].column,
+                  "std::" + t + " inside a loop on the hot path — hoist "
+                  "the allocation out of the iteration or pool it");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSL101 / DSL106(decl) — container / heavy object constructed per
+// iteration.
+
+void checkContainerDeclInLoop(const FileLint& lint, const ScopeInfo& scopes) {
+  const std::vector<Token>& tokens = lint.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!isIdent(tokens[i])) continue;
+    const std::string& t = tokens[i].text;
+    const bool isStdContainer =
+        stdContainers().count(t) > 0 && isStdQualified(tokens, i);
+    const bool isSmartPtr =
+        (t == "shared_ptr") && isStdQualified(tokens, i);
+    const bool isHeavy = heavyProjectTypes().count(t) > 0;
+    if (!isStdContainer && !isHeavy && !isSmartPtr) continue;
+    Decl decl;
+    if (!parseDecl(tokens, i, decl)) continue;
+    if (scopes.loopDepth[decl.nameIndex] <= 0) continue;
+    if (hasStaticSpecifier(tokens, i)) continue;
+    if (isStdContainer) {
+      lint.report("DSL101", tokens[i].line, tokens[i].column,
+                  "std::" + t + " '" + tokens[decl.nameIndex].text +
+                      "' constructed inside a loop on the hot path — "
+                      "declare it once outside and clear()/assign() per "
+                      "iteration to reuse its capacity");
+      continue;
+    }
+    // Heavy project types and shared_ptr: only per-iteration *copies* fire
+    // — construction from a function's return value is elided and often
+    // unavoidable.
+    const bool copyInit =
+        decl.initKind != 0 &&
+        isIdentChain(tokens, decl.initBegin, decl.initEnd);
+    if (!copyInit) continue;
+    if (isSmartPtr) {
+      lint.report("DSL106", tokens[i].line, tokens[i].column,
+                  "shared_ptr '" + tokens[decl.nameIndex].text +
+                      "' copied per iteration — each copy is an atomic "
+                      "refcount round-trip; bind a reference (or use the "
+                      "raw object) instead");
+    } else {
+      lint.report("DSL101", tokens[i].line, tokens[i].column,
+                  t + " '" + tokens[decl.nameIndex].text +
+                      "' copied inside a loop on the hot path — the copy "
+                      "reallocates its owned storage every iteration; "
+                      "hoist a scratch object and copy-assign into it");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSL102 — push_back/emplace_back loops with no reserve anywhere in the
+// file. The reserve scan is file-wide on purpose: `order_.reserve(n)` in
+// run() covers `order_.push_back(...)` in the dfs() it calls, and a
+// narrower scope would demand suppressions for correct code.
+
+void checkPushBackNoReserve(const FileLint& lint, const ScopeInfo& scopes) {
+  const std::vector<Token>& tokens = lint.tokens;
+  std::set<std::string> reserved;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (!isIdent(tokens[i])) continue;
+    if (tokens[i].text != "reserve" && tokens[i].text != "resize") continue;
+    if (tokens[i - 1].text != "." && tokens[i - 1].text != "->") continue;
+    if (!isIdent(tokens[i - 2])) continue;
+    reserved.insert(tokens[i - 2].text);
+  }
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (!isIdent(tokens[i]) || scopes.loopDepth[i] <= 0) continue;
+    if (tokens[i].text != "push_back" && tokens[i].text != "emplace_back") {
+      continue;
+    }
+    if (tokens[i - 1].text != "." && tokens[i - 1].text != "->") continue;
+    if (!isIdent(tokens[i - 2])) continue;
+    const std::string& name = tokens[i - 2].text;
+    if (reserved.count(name) > 0) continue;
+    lint.report("DSL102", tokens[i].line, tokens[i].column,
+                "'" + name + "." + tokens[i].text +
+                    "' in a loop with no '" + name +
+                    ".reserve(...)' (or resize) anywhere in this file — "
+                    "growth reallocations on the hot path; reserve the "
+                    "final size up front");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSL103 / DSL106(param) — by-value non-trivial parameters in hot-path
+// function definitions. Sink parameters that the body std::move()s into
+// place are the idiomatic exception and are exempt.
+
+void checkByValueParams(const FileLint& lint, const ScopeInfo& scopes) {
+  const std::vector<Token>& tokens = lint.tokens;
+  for (const FunctionDef& fn : scopes.functions) {
+    if (fn.paramsBegin >= fn.paramsEnd) continue;
+    // Split the parameter list on top-level commas.
+    std::vector<std::pair<std::size_t, std::size_t>> params;
+    std::size_t start = fn.paramsBegin + 1;
+    int paren = 0;
+    int angle = 0;
+    for (std::size_t i = start; i <= fn.paramsEnd; ++i) {
+      const std::string& t = tokens[i].text;
+      if (i == fn.paramsEnd || (t == "," && paren == 0 && angle <= 0)) {
+        if (i > start) params.emplace_back(start, i);
+        start = i + 1;
+        continue;
+      }
+      if (t == "(" || t == "[") ++paren;
+      else if (t == ")" || t == "]") --paren;
+      else if (t == "<") ++angle;
+      else if (t == ">") --angle;
+      else if (t == ">>") angle -= 2;
+    }
+    for (const auto& [begin, end] : params) {
+      bool byRef = false;
+      std::string heavyType;
+      bool sharedPtr = false;
+      std::size_t defaultAt = end;  // position of '=' (default argument)
+      int depth = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t == "<") ++depth;
+        else if (t == ">") --depth;
+        else if (t == ">>") depth -= 2;
+        if (t == "&" || t == "&&" || t == "*") byRef = true;
+        if (t == "=" && depth <= 0 && defaultAt == end) defaultAt = i;
+        if (t == "...") byRef = true;  // variadic pack — out of scope
+        if (isIdent(tokens[i]) && depth <= 0 && i < defaultAt) {
+          if (t == "shared_ptr") sharedPtr = true;
+          if (heavyType.empty() &&
+              (stdContainers().count(t) > 0 ||
+               heavyProjectTypes().count(t) > 0 || t == "function")) {
+            heavyType = t;
+          }
+        }
+      }
+      if (byRef || (heavyType.empty() && !sharedPtr)) continue;
+      // Parameter name: the last top-level identifier before any default.
+      std::size_t nameAt = end;
+      depth = 0;
+      for (std::size_t i = begin; i < defaultAt; ++i) {
+        const std::string& t = tokens[i].text;
+        if (t == "<") ++depth;
+        else if (t == ">") --depth;
+        else if (t == ">>") depth -= 2;
+        else if (depth <= 0 && isIdent(tokens[i])) nameAt = i;
+      }
+      if (nameAt == end) continue;
+      const std::string& name = tokens[nameAt].text;
+      if (stdContainers().count(name) > 0 || name == "shared_ptr" ||
+          heavyProjectTypes().count(name) > 0 || name == "function" ||
+          name == "std") {
+        continue;  // unnamed parameter — the "name" is part of the type
+      }
+      // Sink exemption: the body moves the parameter into place.
+      bool moved = false;
+      for (std::size_t i = fn.bodyBegin;
+           i + 2 < fn.bodyEnd && !moved; ++i) {
+        if (isIdent(tokens[i]) && tokens[i].text == "move" &&
+            tokens[i + 1].text == "(" && tokens[i + 2].text == name) {
+          moved = true;
+        }
+      }
+      if (moved) continue;
+      if (sharedPtr) {
+        lint.report("DSL106", tokens[nameAt].line, tokens[nameAt].column,
+                    "shared_ptr parameter '" + name + "' taken by value in "
+                    "a hot-path definition — the copy is an atomic refcount "
+                    "round-trip per call; take a const& (or the raw object)");
+      } else {
+        lint.report("DSL103", tokens[nameAt].line, tokens[nameAt].column,
+                    "parameter '" + name + "' (" + heavyType + ") taken by "
+                    "value in a hot-path definition — copies owned storage "
+                    "per call; take const& (or move it into place if it is "
+                    "a sink)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSL104 — repeated map lookups with the same literal key in one function.
+
+void checkRepeatedMapLookups(const FileLint& lint, const ScopeInfo& scopes) {
+  const std::vector<Token>& tokens = lint.tokens;
+  // Names declared as map/unordered_map anywhere in this file (members and
+  // locals alike) — restricting to known maps keeps vector indexing out.
+  std::set<std::string> mapNames;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!isIdent(tokens[i])) continue;
+    const std::string& t = tokens[i].text;
+    if (t != "map" && t != "unordered_map" && t != "multimap") continue;
+    if (!isStdQualified(tokens, i)) continue;
+    Decl decl;
+    if (parseDecl(tokens, i, decl)) mapNames.insert(tokens[decl.nameIndex].text);
+  }
+  if (mapNames.empty()) return;
+  for (const FunctionDef& fn : scopes.functions) {
+    std::map<std::string, std::size_t> seen;  // "name\tkey" -> first index
+    for (std::size_t i = fn.bodyBegin; i + 2 < fn.bodyEnd; ++i) {
+      if (!isIdent(tokens[i]) || mapNames.count(tokens[i].text) == 0) {
+        continue;
+      }
+      std::string key;
+      if (tokens[i + 1].text == "[" && i + 3 < fn.bodyEnd &&
+          tokens[i + 3].text == "]" &&
+          (isIdent(tokens[i + 2]) ||
+           tokens[i + 2].kind == Kind::Number)) {
+        key = tokens[i + 2].text;
+      } else if (tokens[i + 1].text == "." && i + 5 < fn.bodyEnd &&
+                 tokens[i + 2].text == "at" && tokens[i + 3].text == "(" &&
+                 tokens[i + 5].text == ")" &&
+                 (isIdent(tokens[i + 4]) ||
+                  tokens[i + 4].kind == Kind::Number)) {
+        key = tokens[i + 4].text;
+      }
+      if (key.empty()) continue;
+      const std::string id = tokens[i].text + "\t" + key;
+      const auto [it, inserted] = seen.emplace(id, i);
+      if (inserted) continue;
+      lint.report("DSL104", tokens[i].line, tokens[i].column,
+                  "repeated lookup '" + tokens[i].text + "[" + key +
+                      "]' in one function (first at line " +
+                      std::to_string(tokens[it->second].line) +
+                      ") — each lookup re-walks the map; hoist a "
+                      "reference to the mapped value");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSL105 — std::endl anywhere in a hot file; explicit flush inside a loop.
+
+void checkStreamFlush(const FileLint& lint, const ScopeInfo& scopes) {
+  const std::vector<Token>& tokens = lint.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!isIdent(tokens[i])) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "endl" && isStdQualified(tokens, i)) {
+      lint.report("DSL105", tokens[i].line, tokens[i].column,
+                  "std::endl flushes the stream every use — write '\\n' "
+                  "and flush once when the output is complete");
+      continue;
+    }
+    if (t == "flush" && scopes.loopDepth[i] > 0) {
+      const bool memberCall =
+          i >= 1 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+      const bool manipulator = isStdQualified(tokens, i);
+      if (memberCall || manipulator) {
+        lint.report("DSL105", tokens[i].line, tokens[i].column,
+                    "stream flush inside a loop — a syscall per iteration "
+                    "on the hot path; flush once after the loop");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSL107 — heavy containers returned by value from per-node helpers.
+
+bool perNodeName(const std::string& name) {
+  static const std::vector<std::string> kMarkers = {
+      "node", "child", "candidate", "branch", "bound",
+      "dfs",  "separate", "leaf",   "expand", "pivot"};
+  const std::string low = lowered(name);
+  return std::any_of(kMarkers.begin(), kMarkers.end(),
+                     [&](const std::string& m) {
+                       return low.find(m) != std::string::npos;
+                     });
+}
+
+void checkHeavyReturn(const FileLint& lint, const ScopeInfo& scopes) {
+  static const std::set<std::string> kHeavyReturn = {
+      "vector", "map", "unordered_map", "set", "unordered_set",
+      "deque",  "list"};
+  const std::vector<Token>& tokens = lint.tokens;
+  for (const FunctionDef& fn : scopes.functions) {
+    if (fn.lambda || !perNodeName(fn.name)) continue;
+    bool heavy = false;
+    bool byRef = false;
+    for (std::size_t i = fn.returnBegin; i < fn.nameIndex; ++i) {
+      if (isIdent(tokens[i]) && kHeavyReturn.count(tokens[i].text) > 0) {
+        heavy = true;
+      }
+      if (tokens[i].text == "&" || tokens[i].text == "&&" ||
+          tokens[i].text == "*") {
+        byRef = true;
+      }
+    }
+    if (!heavy || byRef) continue;
+    lint.report("DSL107", tokens[fn.nameIndex].line,
+                tokens[fn.nameIndex].column,
+                "per-node helper '" + fn.name + "' returns a heavy "
+                "container by value — a fresh allocation per B&B node; "
+                "fill a caller-owned scratch buffer instead");
+  }
+}
+
+}  // namespace
+
+void checkPerfRules(const FileLint& lint, const ScopeInfo& scopes) {
+  if (!hotPath(lint.path)) return;
+  checkAllocInLoop(lint, scopes);
+  checkContainerDeclInLoop(lint, scopes);
+  checkPushBackNoReserve(lint, scopes);
+  checkByValueParams(lint, scopes);
+  checkRepeatedMapLookups(lint, scopes);
+  checkStreamFlush(lint, scopes);
+  checkHeavyReturn(lint, scopes);
+}
+
+}  // namespace dynsched::lint::internal
