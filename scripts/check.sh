@@ -74,13 +74,22 @@ if ! skip lint; then
   # dynsched-lint first: it is the cheapest gate and its findings (a raw
   # std::mutex, an unguarded write) usually explain later failures. The
   # linter deliberately links nothing from src/, so this builds even when
-  # the tree under scan does not.
+  # the tree under scan does not. The layer contract is always on here, and
+  # the resolved module graph is emitted as JSON + dot on every run.
   echo "=== [lint] dynsched-lint over src/ and tools/ ==="
   cmake -B build-plain -S . "${PLAIN_FLAGS[@]}" > build-plain.cmake.log 2>&1 \
     || { cat build-plain.cmake.log; FAILED="$FAILED lint"; }
   if [[ " $FAILED " != *" lint "* ]]; then
     cmake --build build-plain -j "$JOBS" --target dynsched_lint \
-      && build-plain/tools/dynsched_lint src tools \
+      && build-plain/tools/dynsched_lint --layers tools/lint/layers.txt \
+           --graph-json build-plain/module_graph.json \
+           --graph-dot build-plain/module_graph.dot src tools \
+      || FAILED="$FAILED lint"
+  fi
+  if [[ " $FAILED " != *" lint "* ]]; then
+    # The rule tables in DESIGN.md must list exactly the shipped catalog.
+    echo "=== [lint] rule catalog vs DESIGN.md ==="
+    python3 scripts/lint_rules_check.py build-plain/tools/dynsched_lint \
       || FAILED="$FAILED lint"
   fi
 fi

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Cross-checks the dynsched-lint rule catalog against DESIGN.md.
+
+Runs `dynsched_lint --list-rules` and requires the rule tables in DESIGN.md
+(markdown rows of the form `| DSLxxx | ... |`) to list exactly the catalog:
+every shipped rule documented, no documented rule that no longer exists,
+and no rule documented twice. The check is deliberately ID-based — the
+prose in the tables is allowed to differ from the one-line catalog summary,
+but the *set* of rules must never drift.
+
+Usage: lint_rules_check.py <dynsched_lint-binary> [DESIGN.md]
+Exit: 0 in sync, 1 drift, 2 the check itself could not run.
+"""
+
+import json
+import re
+import subprocess
+import sys
+
+
+def catalog_ids(lint_binary):
+    try:
+        out = subprocess.run(
+            [lint_binary, "--list-rules"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as err:
+        print(f"lint_rules_check: cannot run {lint_binary}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    try:
+        report = json.loads(out)
+        rules = [rule["id"] for rule in report["rules"]]
+    except (ValueError, KeyError, TypeError) as err:
+        print(f"lint_rules_check: malformed --list-rules output: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not rules:
+        print("lint_rules_check: --list-rules reported an empty catalog",
+              file=sys.stderr)
+        sys.exit(2)
+    return rules
+
+
+def documented_ids(design_path):
+    try:
+        with open(design_path, encoding="utf-8") as design:
+            text = design.read()
+    except OSError as err:
+        print(f"lint_rules_check: cannot read {design_path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    return re.findall(r"^\|\s*(DSL\d{3})\s*\|", text, flags=re.MULTILINE)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    catalog = catalog_ids(argv[1])
+    documented = documented_ids(argv[2] if len(argv) == 3 else "DESIGN.md")
+
+    problems = []
+    for ids, where in ((catalog, "--list-rules"), (documented, "DESIGN.md")):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        if dupes:
+            problems.append(f"duplicated in {where}: {', '.join(dupes)}")
+    undocumented = sorted(set(catalog) - set(documented))
+    if undocumented:
+        problems.append(
+            "in the catalog but missing from DESIGN.md rule tables: "
+            + ", ".join(undocumented))
+    stale = sorted(set(documented) - set(catalog))
+    if stale:
+        problems.append(
+            "documented in DESIGN.md but absent from --list-rules: "
+            + ", ".join(stale))
+
+    if problems:
+        for problem in problems:
+            print(f"lint_rules_check: {problem}", file=sys.stderr)
+        print("lint_rules_check: rule catalog and DESIGN.md tables have "
+              "drifted — update the table (or the catalog) so they match",
+              file=sys.stderr)
+        return 1
+    print(f"lint_rules_check: {len(catalog)} rules in sync with DESIGN.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

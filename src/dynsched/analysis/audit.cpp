@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "dynsched/core/audit_hook.hpp"
 #include "dynsched/util/strings.hpp"
 
 namespace dynsched::analysis {
@@ -67,3 +68,18 @@ void auditSchedule(const char* site, const core::Schedule& schedule,
 }
 
 }  // namespace dynsched::analysis
+
+namespace dynsched::core {
+
+// The dependency-inverted seam declared in core/audit_hook.hpp: core TUs
+// call this without including any analysis header; the definition lives
+// here so the link edge core -> analysis carries the behavior.
+void auditScheduleHook(const char* site, const Schedule& schedule,
+                       const MachineHistory& history, Time now,
+                       const ReservationBook* reservations,
+                       const std::vector<MetricExpectation>& expected) {
+  analysis::auditSchedule(site, schedule, history, now, reservations,
+                          expected);
+}
+
+}  // namespace dynsched::core

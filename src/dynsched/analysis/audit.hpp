@@ -14,6 +14,14 @@
 
 #include "dynsched/analysis/schedule_validator.hpp"
 
+// The core types appear here only by reference/pointer; the definitions
+// arrive via schedule_validator.hpp.
+namespace dynsched::core {
+class MachineHistory;
+class ReservationBook;
+class Schedule;
+}  // namespace dynsched::core
+
 namespace dynsched::analysis {
 
 /// Thrown when an audited schedule violates an invariant.

@@ -30,6 +30,12 @@
 #include "dynsched/mip/mip.hpp"
 #include "dynsched/util/types.hpp"
 
+// The LP overload only reads the model by reference; the complete type
+// arrives via mip.hpp (a MipModel embeds its LpModel).
+namespace dynsched::lp {
+class LpModel;
+}  // namespace dynsched::lp
+
 namespace dynsched::analysis {
 
 enum class LintSeverity { Info, Warn, Error };

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dynsched/core/machine_history.hpp"
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/reservation.hpp"
 #include "dynsched/core/schedule.hpp"
@@ -37,10 +38,9 @@ struct ValidationReport {
 
 /// A metric value the producer reported for the schedule; the validator
 /// recomputes it independently and flags disagreement beyond tolerance.
-struct MetricExpectation {
-  core::MetricKind metric = core::MetricKind::AvgResponseTime;
-  double reported = 0;
-};
+/// The struct itself lives in core (core/metrics.hpp) so producers can
+/// state expectations without including analysis headers.
+using MetricExpectation = core::MetricExpectation;
 
 class ScheduleValidator {
  public:

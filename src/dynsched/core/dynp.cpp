@@ -1,6 +1,7 @@
 #include "dynsched/core/dynp.hpp"
 
-#include "dynsched/analysis/audit.hpp"
+#include "dynsched/core/audit_hook.hpp"
+#include "dynsched/core/machine_history.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/thread_pool.hpp"
 #include "dynsched/util/timer.hpp"
@@ -58,9 +59,9 @@ SelfTuningResult DynPScheduler::selfTuningStep(
         evaluator.evaluate(result.schedules[i], config_.metric);
     // Candidate schedules decide the policy switch; audit each one together
     // with the metric value the decider will see.
-    DYNSCHED_AUDIT_SCHEDULE(
+    DYNSCHED_CORE_AUDIT_SCHEDULE(
         "dynp.selfTuningStep", result.schedules[i], history, now, reservations,
-        {analysis::MetricExpectation{config_.metric, result.values[i]}});
+        {MetricExpectation{config_.metric, result.values[i]}});
   };
   if (config_.evalThreads > 1 && policies_.size() > 1) {
     // Candidates are independent: each task reads the shared history and

@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "dynsched/core/decider.hpp"
-#include "dynsched/core/machine_history.hpp"
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/planner.hpp"
 
@@ -23,6 +22,8 @@ class ThreadPool;
 }
 
 namespace dynsched::core {
+
+class MachineHistory;  // the step only reads it by reference
 
 /// Everything a self-tuning step produced: the candidate schedules, their
 /// metric values, and the decision. Indexing follows the scheduler's

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dynsched/core/schedule.hpp"
 #include "dynsched/util/checked.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/strings.hpp"

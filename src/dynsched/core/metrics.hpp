@@ -8,9 +8,11 @@
 
 #include <string>
 
-#include "dynsched/core/schedule.hpp"
+#include "dynsched/util/types.hpp"
 
 namespace dynsched::core {
+
+class Schedule;
 
 enum class MetricKind {
   AvgResponseTime,      ///< mean(end − submit)
@@ -28,6 +30,15 @@ MetricKind parseMetric(const std::string& name);
 
 /// True when a smaller value means a better schedule (all but Utilization).
 bool lowerIsBetter(MetricKind metric);
+
+/// A metric value a producer reported for a schedule. The audit layer
+/// recomputes it independently and flags disagreement beyond tolerance;
+/// it lives here (not in analysis) so producers can state expectations
+/// without depending on the validator.
+struct MetricExpectation {
+  MetricKind metric = MetricKind::AvgResponseTime;
+  double reported = 0;
+};
 
 /// Evaluates schedules at a fixed decision instant. `now` anchors makespan
 /// and utilization; `machineSize` is needed for utilization only.

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "dynsched/analysis/audit.hpp"
+#include "dynsched/core/audit_hook.hpp"
+#include "dynsched/core/machine_history.hpp"
 #include "dynsched/core/resource_profile.hpp"
 #include "dynsched/util/error.hpp"
 
@@ -29,7 +30,7 @@ Schedule planSchedule(const MachineHistory& history,
                       const std::vector<Job>& waiting, PolicyKind policy,
                       Time now) {
   Schedule schedule = planInOrder(history, sortByPolicy(policy, waiting), now);
-  DYNSCHED_AUDIT_SCHEDULE("planner.planSchedule", schedule, history, now);
+  DYNSCHED_CORE_AUDIT_SCHEDULE("planner.planSchedule", schedule, history, now);
   return schedule;
 }
 
@@ -40,7 +41,7 @@ Schedule planSchedule(const MachineHistory& history,
   Schedule schedule =
       planInOrder(profileWithReservations(history, reservations, now),
                   sortByPolicy(policy, waiting), now);
-  DYNSCHED_AUDIT_SCHEDULE("planner.planSchedule+reservations", schedule,
+  DYNSCHED_CORE_AUDIT_SCHEDULE("planner.planSchedule+reservations", schedule,
                           history, now, &reservations);
   return schedule;
 }
@@ -89,7 +90,7 @@ Schedule planEasyBackfill(const MachineHistory& history,
       }
     }
   }
-  DYNSCHED_AUDIT_SCHEDULE("planner.planEasyBackfill", schedule, history, now);
+  DYNSCHED_CORE_AUDIT_SCHEDULE("planner.planEasyBackfill", schedule, history, now);
   return schedule;
 }
 

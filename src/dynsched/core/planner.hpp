@@ -17,12 +17,13 @@
 
 #include <vector>
 
-#include "dynsched/core/machine_history.hpp"
 #include "dynsched/core/policies.hpp"
 #include "dynsched/core/reservation.hpp"
 #include "dynsched/core/schedule.hpp"
 
 namespace dynsched::core {
+
+class MachineHistory;  // plans only read it by reference
 
 /// Builds a full schedule for `waiting` at time `now` under `policy`, given
 /// the machine history (running jobs). Jobs are planned with their estimated

@@ -1,0 +1,26 @@
+// Dependency-inverted model-lint seam for the LP solver.
+//
+// solvePresolved lints its model before solving via DYNSCHED_LP_LINT_MODEL.
+// lp only *declares* the hook; the analysis library defines it in
+// model_lint.cpp (enforceLint over lintModel), so no lp TU includes
+// analysis headers — same include-level inversion as core/audit_hook.hpp.
+#pragma once
+
+namespace dynsched::lp {
+
+class LpModel;
+
+/// Lints `model` and enforces the report (errors throw analysis::AuditError
+/// naming `site` while auditing is enabled). Defined in
+/// analysis/model_lint.cpp.
+void lintModelHook(const char* site, const LpModel& model);
+
+}  // namespace dynsched::lp
+
+// Solvers use the macro so audit-free builds carry no lint pass at all.
+#if defined(DYNSCHED_AUDIT_ENABLED) && DYNSCHED_AUDIT_ENABLED
+#define DYNSCHED_LP_LINT_MODEL(site, model) \
+  ::dynsched::lp::lintModelHook((site), (model))
+#else
+#define DYNSCHED_LP_LINT_MODEL(site, model) ((void)0)
+#endif

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "dynsched/lp/model.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/journal.hpp"
 

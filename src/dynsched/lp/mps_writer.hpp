@@ -6,10 +6,11 @@
 
 #include <iosfwd>
 #include <string>
-
-#include "dynsched/lp/model.hpp"
+#include <vector>
 
 namespace dynsched::lp {
+
+class LpModel;  // written by reference; the .cpp includes the model
 
 struct MpsOptions {
   std::string problemName = "DYNSCHED";

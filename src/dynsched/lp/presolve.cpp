@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "dynsched/analysis/model_lint.hpp"
+#include "dynsched/lp/lint_hook.hpp"
 #include "dynsched/util/error.hpp"
 
 namespace dynsched::lp {
@@ -175,7 +175,7 @@ std::vector<double> PresolveResult::restore(
 }
 
 LpSolution solvePresolved(const LpModel& model, const SimplexOptions& options) {
-  DYNSCHED_LINT_MODEL("lp.solvePresolved", model);
+  DYNSCHED_LP_LINT_MODEL("lp.solvePresolved", model);
   const PresolveResult pre = presolve(model);
   LpSolution result;
   if (pre.provenInfeasible) {

@@ -1,0 +1,22 @@
+// Dependency-inverted model-lint seam for the MIP solver — the mip twin of
+// lp/lint_hook.hpp (see there and core/audit_hook.hpp for the pattern).
+#pragma once
+
+namespace dynsched::mip {
+
+struct MipModel;
+
+/// Lints `model` and enforces the report (errors throw analysis::AuditError
+/// naming `site` while auditing is enabled). Defined in
+/// analysis/model_lint.cpp.
+void lintModelHook(const char* site, const MipModel& model);
+
+}  // namespace dynsched::mip
+
+// Solvers use the macro so audit-free builds carry no lint pass at all.
+#if defined(DYNSCHED_AUDIT_ENABLED) && DYNSCHED_AUDIT_ENABLED
+#define DYNSCHED_MIP_LINT_MODEL(site, model) \
+  ::dynsched::mip::lintModelHook((site), (model))
+#else
+#define DYNSCHED_MIP_LINT_MODEL(site, model) ((void)0)
+#endif

@@ -5,7 +5,7 @@
 #include <queue>
 #include <sstream>
 
-#include "dynsched/analysis/model_lint.hpp"
+#include "dynsched/mip/lint_hook.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
 #include "dynsched/util/timer.hpp"
@@ -511,7 +511,7 @@ MipResult BranchAndBound::run() {
 }  // namespace
 
 MipResult solveMip(const MipModel& model, const MipOptions& options) {
-  DYNSCHED_LINT_MODEL("mip.solveMip", model);
+  DYNSCHED_MIP_LINT_MODEL("mip.solveMip", model);
   BranchAndBound solver(model, options);
   return solver.run();
 }

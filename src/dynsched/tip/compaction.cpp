@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "dynsched/core/planner.hpp"
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/util/error.hpp"
 
 namespace dynsched::tip {

@@ -10,9 +10,10 @@
 #include <vector>
 
 #include "dynsched/core/schedule.hpp"
-#include "dynsched/tip/tim_model.hpp"
 
 namespace dynsched::tip {
+
+struct TipInstance;  // read by reference; the .cpp includes tim_model
 
 /// The solver's starting order: jobs sorted by start slot, ties broken by
 /// submit time then id (deterministic; within a slot the order is

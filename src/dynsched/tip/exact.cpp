@@ -6,6 +6,7 @@
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/core/planner.hpp"
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/util/error.hpp"
 
 namespace dynsched::tip {

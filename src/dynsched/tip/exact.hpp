@@ -11,10 +11,11 @@
 
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/schedule.hpp"
-#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/util/budget.hpp"
 
 namespace dynsched::tip {
+
+struct TipInstance;  // read by reference; the .cpp includes tim_model
 
 struct ExactResult {
   core::Schedule schedule;

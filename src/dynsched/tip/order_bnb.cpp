@@ -4,6 +4,7 @@
 
 #include "dynsched/core/metrics.hpp"
 #include "dynsched/core/planner.hpp"
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/timer.hpp"
 

@@ -12,10 +12,11 @@
 #pragma once
 
 #include "dynsched/core/schedule.hpp"
-#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/util/budget.hpp"
 
 namespace dynsched::tip {
+
+struct TipInstance;  // read by reference; the .cpp includes tim_model
 
 struct OrderBnbOptions {
   long maxNodes = 20'000'000;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "dynsched/analysis/audit.hpp"
+#include "dynsched/core/metrics.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
 #include "dynsched/util/mutex.hpp"

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "dynsched/core/policies.hpp"
 #include "dynsched/mip/mip.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/compaction.hpp"

@@ -9,6 +9,7 @@
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/analysis/schedule_validator.hpp"
 #include "dynsched/core/policies.hpp"
+#include "dynsched/sim/simulator.hpp"
 #include "dynsched/util/error.hpp"
 #include "dynsched/util/logging.hpp"
 #include "dynsched/util/timer.hpp"

@@ -23,12 +23,16 @@
 #include <optional>
 #include <string>
 
+#include "dynsched/core/metrics.hpp"
 #include "dynsched/mip/mip.hpp"
-#include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/compaction.hpp"
 #include "dynsched/tip/tim_model.hpp"
 #include "dynsched/tip/time_scaling.hpp"
 #include "dynsched/util/budget.hpp"
+
+namespace dynsched::sim {
+struct StepSnapshot;  // read by reference; the .cpp includes the simulator
+}  // namespace dynsched::sim
 
 namespace dynsched::tip {
 

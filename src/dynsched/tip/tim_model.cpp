@@ -5,6 +5,7 @@
 
 #include "dynsched/analysis/model_lint.hpp"
 #include "dynsched/core/policies.hpp"
+#include "dynsched/lp/model.hpp"
 #include "dynsched/util/checked.hpp"
 #include "dynsched/util/error.hpp"
 

@@ -3,6 +3,7 @@
 // dynP self-tuning, simulator, and the exact solver.
 #include <gtest/gtest.h>
 
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/analysis/schedule_validator.hpp"
 #include "dynsched/core/dynp.hpp"

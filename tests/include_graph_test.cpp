@@ -1,0 +1,475 @@
+// Include-graph pass coverage: directive harvesting through the blanking
+// lexer (comments, #if 0, conditionals), quote-vs-angle resolution, the
+// layer gate (DSL200), cycle reporting with the full path (DSL201),
+// private-header leaks (DSL202), transitive-include reliance (DSL203),
+// header hygiene (DSL204..DSL206), forward-declarable includes (DSL207),
+// and the graph JSON/dot emitters. Fixture trees are built in memory via
+// analyzeIncludeGraph's SourceFile vector — no filesystem involved.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace dynsched::lint {
+namespace {
+
+// The real contract, abbreviated: enough modules for every test here.
+const char* const kLayers =
+    "# test layer contract\n"
+    "util:\n"
+    "lp: util\n"
+    "core: util\n"
+    "mip: util lp\n"
+    "analysis: util core lp mip\n";
+
+SourceFile file(const std::string& path, const std::string& contents) {
+  return SourceFile{path, contents};
+}
+
+std::vector<std::string> rulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+/// Findings of one rule only.
+std::vector<Finding> only(const IncludeGraphResult& result,
+                          const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& finding : result.findings) {
+    if (finding.rule == rule) out.push_back(finding);
+  }
+  return out;
+}
+
+// --- directive harvesting ---------------------------------------------------
+
+TEST(IncludeHarvest, CommentedIncludesAreNotEdges) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "// #include \"dynsched/analysis/x.hpp\"\n"
+            "/* #include \"dynsched/analysis/x.hpp\" */\n"
+            "/*\n"
+            "#include \"dynsched/analysis/x.hpp\"\n"
+            "*/\n"),
+       file("src/dynsched/analysis/x.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_TRUE(result.graph.edges.empty());
+}
+
+TEST(IncludeHarvest, IfZeroRegionsDropIncludesButElseBranchesKeepThem) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#if 0\n"
+            "#include \"dynsched/analysis/dead.hpp\"\n"
+            "#else\n"
+            "#include \"dynsched/analysis/live.hpp\"\n"
+            "#endif\n"),
+       file("src/dynsched/analysis/dead.hpp", "#pragma once\n"),
+       file("src/dynsched/analysis/live.hpp", "#pragma once\n")},
+      kLayers);
+  // Only the live branch counts — and it is an undeclared lp -> analysis
+  // edge, so exactly one DSL200 for live.hpp and none for dead.hpp.
+  const auto dsl200 = only(result, "DSL200");
+  ASSERT_EQ(dsl200.size(), 1u);
+  EXPECT_NE(dsl200[0].message.find("live.hpp"), std::string::npos);
+}
+
+TEST(IncludeHarvest, ConditionalIncludesStillCountAsEdges) {
+  // #ifdef guards do not hide a dependency from the layer gate: the edge is
+  // conservatively real (it exists in some configuration).
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#ifdef DYNSCHED_EXTRA\n"
+            "#include \"dynsched/analysis/x.hpp\"\n"
+            "#endif\n"),
+       file("src/dynsched/analysis/x.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_EQ(rulesOf(only(result, "DSL200")),
+            (std::vector<std::string>{"DSL200"}));
+}
+
+// --- resolution -------------------------------------------------------------
+
+TEST(IncludeResolve, QuoteFormPrefersTheIncluderDirectory) {
+  // a.hpp exists both next to the includer and at the root; "a.hpp" must
+  // bind to the sibling (so no cross-module edge appears).
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/b.cpp", "#include \"a.hpp\"\n"),
+       file("src/dynsched/lp/a.hpp", "#pragma once\n"),
+       file("src/dynsched/analysis/a.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_TRUE(result.graph.edges.empty());
+}
+
+TEST(IncludeResolve, AngleFormResolvesAgainstRootsOnly) {
+  // <dynsched/analysis/a.hpp> resolves through the src/ root even from a
+  // file whose own directory could never reach it relatively.
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/b.cpp",
+            "#include <dynsched/analysis/a.hpp>\n"),
+       file("src/dynsched/analysis/a.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_EQ(rulesOf(only(result, "DSL200")),
+            (std::vector<std::string>{"DSL200"}));
+}
+
+TEST(IncludeResolve, UnresolvedIncludesAreExternalAndIgnored) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#include <vector>\n"
+            "#include \"no/such/header.hpp\"\n")},
+      kLayers);
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_TRUE(result.graph.edges.empty());
+}
+
+// --- DSL201: cycles ---------------------------------------------------------
+
+TEST(Dsl201, SelfIncludeIsReported) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/a.hpp\"\n")},
+      kLayers);
+  const auto dsl201 = only(result, "DSL201");
+  ASSERT_EQ(dsl201.size(), 1u);
+  EXPECT_NE(dsl201[0].message.find("includes itself"), std::string::npos);
+  EXPECT_EQ(dsl201[0].line, 2u);
+}
+
+TEST(Dsl201, ThreeModuleCyclePrintsTheFullPath) {
+  // Deliberate 3-module cycle: core -> lp -> mip -> core. Reported once,
+  // anchored at the lexicographically-smallest module's outgoing include,
+  // with every hop named in order.
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/core/a.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/b.hpp\"\n"),
+       file("src/dynsched/lp/b.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/mip/c.hpp\"\n"),
+       file("src/dynsched/mip/c.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/core/a.hpp\"\n")},
+      kLayers);
+  std::vector<Finding> moduleCycles;
+  for (const Finding& finding : only(result, "DSL201")) {
+    if (finding.message.find("module include cycle") != std::string::npos) {
+      moduleCycles.push_back(finding);
+    }
+  }
+  ASSERT_EQ(moduleCycles.size(), 1u);
+  EXPECT_NE(
+      moduleCycles[0].message.find("core -> lp -> mip -> core"),
+      std::string::npos)
+      << moduleCycles[0].message;
+  // The file-level cycle through the three headers is reported too.
+  bool fileCycle = false;
+  for (const Finding& finding : only(result, "DSL201")) {
+    if (finding.message.find("file include cycle") != std::string::npos) {
+      fileCycle = true;
+      EXPECT_NE(finding.message.find(
+                    "src/dynsched/core/a.hpp -> src/dynsched/lp/b.hpp -> "
+                    "src/dynsched/mip/c.hpp -> src/dynsched/core/a.hpp"),
+                std::string::npos)
+          << finding.message;
+    }
+  }
+  EXPECT_TRUE(fileCycle);
+}
+
+// --- DSL200: the layer gate -------------------------------------------------
+
+TEST(Dsl200, DeclaredDownwardIncludesPass) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/mip/a.cpp", "#include \"dynsched/lp/b.hpp\"\n"),
+       file("src/dynsched/lp/b.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(Dsl200, UndeclaredUpwardIncludeNamesTheAllowedList) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#include \"dynsched/analysis/b.hpp\"\n"),
+       file("src/dynsched/analysis/b.hpp", "#pragma once\n")},
+      kLayers);
+  const auto dsl200 = only(result, "DSL200");
+  ASSERT_EQ(dsl200.size(), 1u);
+  EXPECT_NE(dsl200[0].message.find("'lp' may include: util"),
+            std::string::npos)
+      << dsl200[0].message;
+}
+
+TEST(Dsl200, EmptyLayersTextDisablesTheGate) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#include \"dynsched/analysis/b.hpp\"\n"),
+       file("src/dynsched/analysis/b.hpp", "#pragma once\n")},
+      "");
+  EXPECT_TRUE(only(result, "DSL200").empty());
+}
+
+TEST(Layers, MalformedContractsAreGateErrorsNotFindings) {
+  const auto noColon = analyzeIncludeGraph({}, "util\n");
+  ASSERT_EQ(noColon.errors.size(), 1u);
+  const auto unknownDep = analyzeIncludeGraph({}, "lp: nothere\n");
+  ASSERT_EQ(unknownDep.errors.size(), 1u);
+  EXPECT_NE(unknownDep.errors[0].find("undeclared"), std::string::npos);
+  const auto cyclic =
+      analyzeIncludeGraph({}, "a: b\nb: c\nc: a\n");
+  ASSERT_FALSE(cyclic.errors.empty());
+  EXPECT_NE(cyclic.errors[0].find("cycle"), std::string::npos);
+  const auto selfDep = analyzeIncludeGraph({}, "a: a\n");
+  ASSERT_EQ(selfDep.errors.size(), 1u);
+  EXPECT_NE(selfDep.errors[0].find("itself"), std::string::npos);
+}
+
+// --- DSL202: private headers ------------------------------------------------
+
+TEST(Dsl202, DetailHeadersArePrivateAcrossModules) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/analysis/a.cpp",
+            "#include \"dynsched/lp/detail/inner.hpp\"\n"),
+       file("src/dynsched/lp/detail/inner.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_EQ(rulesOf(only(result, "DSL202")),
+            (std::vector<std::string>{"DSL202"}));
+}
+
+TEST(Dsl202, SameModuleDetailIncludesAreFine) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#include \"dynsched/lp/detail/inner.hpp\"\n"),
+       file("src/dynsched/lp/detail/inner.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_TRUE(only(result, "DSL202").empty());
+}
+
+// --- DSL203: transitive-include reliance ------------------------------------
+
+TEST(Dsl203, QualifiedUseWithoutDirectIncludeFires) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/analysis/a.cpp",
+            "#include \"dynsched/analysis/b.hpp\"\n"
+            "void f() { lp::solve(); }\n"),
+       file("src/dynsched/analysis/b.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/s.hpp\"\n"),
+       file("src/dynsched/lp/s.hpp", "#pragma once\n")},
+      kLayers);
+  const auto dsl203 = only(result, "DSL203");
+  ASSERT_EQ(dsl203.size(), 1u);
+  EXPECT_EQ(dsl203[0].file, "src/dynsched/analysis/a.cpp");
+  EXPECT_NE(dsl203[0].message.find("lp::solve"), std::string::npos);
+}
+
+TEST(Dsl203, PrimaryHeaderIncludesCoverTheCpp) {
+  // a.cpp's interface is a.hpp; what the header includes, the .cpp may use.
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/analysis/a.cpp",
+            "#include \"dynsched/analysis/a.hpp\"\n"
+            "void f() { lp::solve(); }\n"),
+       file("src/dynsched/analysis/a.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/s.hpp\"\n"),
+       file("src/dynsched/lp/s.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_TRUE(only(result, "DSL203").empty());
+}
+
+TEST(Dsl203, ForwardDeclarationsCountAsCoverage) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/analysis/a.hpp",
+            "#pragma once\n"
+            "namespace dynsched::lp {\n"
+            "class LpModel;\n"
+            "}\n"
+            "namespace dynsched::analysis {\n"
+            "void lint(const lp::LpModel& model);\n"
+            "}\n")},
+      kLayers);
+  EXPECT_TRUE(only(result, "DSL203").empty());
+}
+
+// --- DSL204..DSL206: header hygiene -----------------------------------------
+
+TEST(HeaderRules, Dsl204FlagsNonInlineDefinitionsInHeaders) {
+  const auto findings =
+      lintFile("src/dynsched/core/a.hpp",
+               "#pragma once\n"
+               "namespace dynsched::lp {\n"
+               "int counter = 0;\n"
+               "int next() { return ++counter; }\n"
+               "}\n");
+  EXPECT_EQ(rulesOf(findings),
+            (std::vector<std::string>{"DSL204", "DSL204"}));
+}
+
+TEST(HeaderRules, Dsl204AllowsInlineConstexprTemplatesAndClassMembers) {
+  EXPECT_TRUE(
+      lintFile("src/dynsched/core/a.hpp",
+               "#pragma once\n"
+               "namespace dynsched::lp {\n"
+               "inline int counter = 0;\n"
+               "constexpr int kMax = 8;\n"
+               "inline int next() { return ++counter; }\n"
+               "template <typename T>\n"
+               "T twice(T v) { return v + v; }\n"
+               "struct S {\n"
+               "  int field = 1;\n"
+               "  int get() const { return field; }\n"
+               "};\n"
+               "}\n")
+          .empty());
+}
+
+TEST(HeaderRules, Dsl204IgnoresCppFiles) {
+  EXPECT_TRUE(lintFile("src/dynsched/core/a.cpp",
+                       "namespace dynsched::lp {\n"
+                       "int counter = 0;\n"
+                       "}\n")
+                  .empty());
+}
+
+TEST(HeaderRules, Dsl205FlagsMissingAndDuplicatePragmaOnce) {
+  const auto missing = lintFile("src/dynsched/core/a.hpp", "int x();\n");
+  EXPECT_EQ(rulesOf(missing), (std::vector<std::string>{"DSL205"}));
+  const auto doubled = lintFile("src/dynsched/core/a.hpp",
+                                "#pragma once\n"
+                                "#pragma once\n"
+                                "int x();\n");
+  ASSERT_EQ(rulesOf(doubled), (std::vector<std::string>{"DSL205"}));
+  EXPECT_EQ(doubled[0].line, 2u);
+}
+
+TEST(HeaderRules, Dsl206FlagsUsingNamespaceAtHeaderScope) {
+  const auto findings = lintFile("src/dynsched/core/a.hpp",
+                                 "#pragma once\n"
+                                 "using namespace std;\n");
+  EXPECT_EQ(rulesOf(findings), (std::vector<std::string>{"DSL206"}));
+  // Inside a function body it leaks nothing.
+  EXPECT_TRUE(lintFile("src/dynsched/core/a.hpp",
+                       "#pragma once\n"
+                       "inline void f() { using namespace std; }\n")
+                  .empty());
+}
+
+// --- DSL207: forward-declarable includes ------------------------------------
+
+TEST(Dsl207, PointerOnlyUseOfAnIncludedClassFires) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/heavy.hpp\"\n"
+            "namespace dynsched::lp {\n"
+            "void feed(const Heavy& h);\n"
+            "}\n"),
+       file("src/dynsched/lp/heavy.hpp",
+            "#pragma once\n"
+            "namespace dynsched::lp {\n"
+            "class Heavy { int x_ = 0; };\n"
+            "}\n")},
+      kLayers);
+  EXPECT_EQ(rulesOf(only(result, "DSL207")),
+            (std::vector<std::string>{"DSL207"}));
+}
+
+TEST(Dsl207, ValueUseOrNonClassUseKeepsTheInclude) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/byvalue.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/heavy.hpp\"\n"
+            "namespace dynsched::lp {\n"
+            "Heavy make();\n"
+            "}\n"),
+       file("src/dynsched/lp/enumuse.hpp",
+            "#pragma once\n"
+            "#include \"dynsched/lp/heavy.hpp\"\n"
+            "namespace dynsched::lp {\n"
+            "void feed(const Heavy& h, Mode m);\n"
+            "}\n"),
+       file("src/dynsched/lp/heavy.hpp",
+            "#pragma once\n"
+            "namespace dynsched::lp {\n"
+            "enum class Mode { A, B };\n"
+            "class Heavy { int x_ = 0; };\n"
+            "}\n")},
+      kLayers);
+  EXPECT_TRUE(only(result, "DSL207").empty());
+}
+
+// --- graph emitters ---------------------------------------------------------
+
+TEST(GraphEmit, JsonListsModulesFilesAndEdges) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/mip/a.cpp", "#include \"dynsched/lp/b.hpp\"\n"),
+       file("src/dynsched/lp/b.hpp", "#pragma once\n")},
+      kLayers);
+  const std::string json = renderGraphJson(result.graph);
+  EXPECT_NE(json.find("\"graph\": \"modules\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"lp\""), std::string::npos);
+  EXPECT_NE(json.find("src/dynsched/lp/b.hpp"), std::string::npos);
+  EXPECT_NE(json.find("\"from\": \"mip\", \"to\": \"lp\", \"includes\": 1, "
+                      "\"declared\": true"),
+            std::string::npos)
+      << json;
+}
+
+TEST(GraphEmit, DotMarksUndeclaredEdgesRedAndUnusedDeclaredDashed) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#include \"dynsched/analysis/b.hpp\"\n"),
+       file("src/dynsched/analysis/b.hpp", "#pragma once\n")},
+      kLayers);
+  const std::string dot = renderGraphDot(result.graph);
+  EXPECT_NE(dot.find("digraph dynsched_modules"), std::string::npos);
+  // lp -> analysis exists but is undeclared: red.
+  EXPECT_NE(dot.find("\"lp\" -> \"analysis\" [label=\"1\", color=red"),
+            std::string::npos)
+      << dot;
+  // analysis -> core is declared but unused here: dashed.
+  EXPECT_NE(dot.find("\"analysis\" -> \"core\" [style=dashed"),
+            std::string::npos)
+      << dot;
+}
+
+TEST(GraphEmit, BaselinesRecordAndSuppressGraphRuleFindings) {
+  // --baseline must work for DSL200+ exactly as for the older families:
+  // record the findings, re-apply the record, and nothing new remains.
+  const auto analyzed = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "#include \"dynsched/analysis/b.hpp\"\n"),
+       file("src/dynsched/analysis/b.hpp", "#pragma once\n")},
+      kLayers);
+  ASSERT_EQ(rulesOf(only(analyzed, "DSL200")).size(), 1u);
+  LintResult result;
+  result.findings = analyzed.findings;
+  const std::string recorded = renderBaseline(result);
+  EXPECT_NE(recorded.find("DSL200"), std::string::npos);
+  const BaselineResult applied = applyBaseline(result, recorded);
+  EXPECT_TRUE(applied.error.empty()) << applied.error;
+  EXPECT_EQ(applied.suppressed, analyzed.findings.size());
+  EXPECT_TRUE(applied.stale.empty());
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(GraphEmit, SuppressionsAreHonoredByGraphRules) {
+  const auto result = analyzeIncludeGraph(
+      {file("src/dynsched/lp/a.cpp",
+            "// dynsched-lint: allow(DSL200) transition, tracked in #42\n"
+            "#include \"dynsched/analysis/b.hpp\"\n"),
+       file("src/dynsched/analysis/b.hpp", "#pragma once\n")},
+      kLayers);
+  EXPECT_TRUE(only(result, "DSL200").empty());
+}
+
+}  // namespace
+}  // namespace dynsched::lint

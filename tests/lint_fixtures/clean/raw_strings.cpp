@@ -1,0 +1,28 @@
+// Raw-string regression (clean half): everything rule-triggering in this
+// file sits inside raw string literals, so the linter must stay silent.
+// Not compiled; scanned by lint_test through lintPaths().
+#include <string>
+
+namespace fixture {
+
+// Plain raw string: banned tokens inside are data, not code.
+const char* kDoc = R"(std::mutex m; std::thread t; rand();)";
+
+// Delimited form: the body contains the plain terminator )" which must NOT
+// end the literal — only )xyz" does.
+const char* kDelimited = R"xyz(a quote " and a fake end )" std::mutex)xyz";
+
+// Encoding prefixes all take the raw form.
+const char8_t* kU8 = u8R"(std::condition_variable cv;)";
+const wchar_t* kWide = LR"(fopen("x", "w");)";
+
+// Multi-line raw string: line counting must survive the embedded newlines
+// (a finding after this literal must carry the right line number).
+const char* kQuery = R"sql(
+  SELECT "std::mutex"
+  FROM jobs
+)sql";
+
+inline std::string render() { return kDoc; }
+
+}  // namespace fixture

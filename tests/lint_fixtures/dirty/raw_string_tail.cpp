@@ -1,0 +1,11 @@
+// Raw-string regression (dirty half): the scan must resume cleanly after a
+// raw string — the real std::mutex below it must still fire DSL001, with
+// the unbalanced quote inside the literal not derailing string tracking.
+// Not compiled; scanned by lint_test through lintPaths().
+namespace fixture {
+
+const char* kBait = R"delim(an unbalanced " quote and )" inside)delim";
+
+std::mutex realFinding;  // DSL001 — must be seen despite the literal above
+
+}  // namespace fixture

@@ -3,6 +3,7 @@
 // mid-size instances that enumeration cannot reach.
 #include <gtest/gtest.h>
 
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/core/planner.hpp"
 #include "dynsched/tip/exact.hpp"
 #include "dynsched/tip/order_bnb.hpp"

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <string>
 
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/analysis/audit.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/exact.hpp"

@@ -7,6 +7,7 @@
 // check.sh / CI fault matrix loops every fault kind through it.
 #include <gtest/gtest.h>
 
+#include "dynsched/tip/tim_model.hpp"
 #include "dynsched/analysis/schedule_validator.hpp"
 #include "dynsched/sim/simulator.hpp"
 #include "dynsched/tip/study.hpp"

@@ -20,11 +20,15 @@ int usage(std::ostream& os, int exitCode) {
         "\n"
         "Scans *.cpp/*.cc/*.hpp/*.h under the given paths against the\n"
         "dynsched project rules (DSL001..DSL007 structural, DSL100..DSL107\n"
-        "hot-path performance).\n"
+        "hot-path performance, DSL200..DSL207 module graph / layering).\n"
         "\n"
         "options:\n"
         "  --json                  emit the JSON report on stdout\n"
         "  --json-out <file>       also write the JSON report to <file>\n"
+        "  --layers <file>         layer contract (tools/lint/layers.txt);\n"
+        "                          enables the DSL200 layer gate\n"
+        "  --graph-json <file>     write the resolved module graph as JSON\n"
+        "  --graph-dot <file>      write the module graph as Graphviz dot\n"
         "  --baseline <file>       report only findings NOT recorded in\n"
         "                          <file>; recorded ones are suppressed,\n"
         "                          stale record entries are warned about\n"
@@ -32,7 +36,7 @@ int usage(std::ostream& os, int exitCode) {
         "                          and exit 0 (the flag-day escape hatch:\n"
         "                          land a new rule family gating only new\n"
         "                          code, then burn the recorded debt down)\n"
-        "  --list-rules            print the rule catalog and exit\n"
+        "  --list-rules            print the rule catalog as JSON and exit\n"
         "  -h, --help              this help\n"
         "\n"
         "Baselines record rule+file+snippet (never line numbers), so they\n"
@@ -44,6 +48,30 @@ int usage(std::ostream& os, int exitCode) {
         "\n"
         "exit: 0 clean, 1 findings, 2 usage/errors\n";
   return exitCode;
+}
+
+std::string jsonQuote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+int listRules() {
+  std::cout << "{\n  \"tool\": \"dynsched-lint\",\n  \"rules\": [";
+  bool first = true;
+  for (const auto& rule : dynsched::lint::ruleCatalog()) {
+    std::cout << (first ? "" : ",") << "\n    {\"id\": " << jsonQuote(rule.id)
+              << ", \"summary\": " << jsonQuote(rule.summary)
+              << ", \"scope\": " << jsonQuote(rule.scope)
+              << ", \"since\": " << rule.since << "}";
+    first = false;
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
 }
 
 bool writeFileOrComplain(const std::string& path, const std::string& text) {
@@ -66,30 +94,32 @@ int main(int argc, char** argv) {
   std::string jsonOut;
   std::string baselinePath;
   std::string writeBaselinePath;
+  std::string layersPath;
+  std::string graphJsonOut;
+  std::string graphDotOut;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") return usage(std::cout, 0);
-    if (arg == "--list-rules") {
-      for (const auto& rule : dynsched::lint::ruleCatalog()) {
-        std::cout << rule.id << "  " << rule.summary << "\n";
-      }
-      return 0;
-    }
+    if (arg == "--list-rules") return listRules();
     if (arg == "--json") {
       jsonStdout = true;
       continue;
     }
     if (arg == "--json-out" || arg == "--baseline" ||
-        arg == "--write-baseline") {
+        arg == "--write-baseline" || arg == "--layers" ||
+        arg == "--graph-json" || arg == "--graph-dot") {
       if (i + 1 >= argc) {
         std::cerr << "dynsched-lint: " << arg << " needs a file argument\n";
         return 2;
       }
-      (arg == "--json-out"
-           ? jsonOut
-           : arg == "--baseline" ? baselinePath : writeBaselinePath) =
-          argv[++i];
+      std::string& slot = arg == "--json-out"       ? jsonOut
+                          : arg == "--baseline"     ? baselinePath
+                          : arg == "--write-baseline" ? writeBaselinePath
+                          : arg == "--layers"       ? layersPath
+                          : arg == "--graph-json"   ? graphJsonOut
+                                                    : graphDotOut;
+      slot = argv[++i];
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -108,7 +138,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  dynsched::lint::LintResult result = dynsched::lint::lintPaths(paths);
+  dynsched::lint::TreeLintOptions options;
+  if (!layersPath.empty()) {
+    std::ifstream in(layersPath, std::ios::binary);
+    if (!in) {
+      std::cerr << "dynsched-lint: cannot read layers file " << layersPath
+                << "\n";
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    options.layersText = contents.str();
+    if (options.layersText.empty()) {
+      std::cerr << "dynsched-lint: layers file " << layersPath
+                << " is empty\n";
+      return 2;
+    }
+  }
+  dynsched::lint::ModuleGraph graph;
+  options.graphOut = &graph;
+
+  dynsched::lint::LintResult result = dynsched::lint::lintPaths(paths, options);
+
+  if (!graphJsonOut.empty() &&
+      !writeFileOrComplain(graphJsonOut,
+                           dynsched::lint::renderGraphJson(graph))) {
+    return 2;
+  }
+  if (!graphDotOut.empty() &&
+      !writeFileOrComplain(graphDotOut,
+                           dynsched::lint::renderGraphDot(graph))) {
+    return 2;
+  }
 
   if (!writeBaselinePath.empty()) {
     if (!writeFileOrComplain(writeBaselinePath,

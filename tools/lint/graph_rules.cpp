@@ -1,0 +1,1030 @@
+// Module-graph analysis (DSL200..DSL207) — the third dynsched-lint layer.
+//
+// The include-graph pass parses every #include the blanking lexer harvested
+// (so directives inside comments or `#if 0` never count), resolves them to
+// in-tree files, maps files to modules (the path component after
+// "dynsched/", or "tools"), and checks the resulting module digraph against
+// the declared layer DAG in tools/lint/layers.txt. On top of the graph it
+// runs the boundary rules: undeclared cross-layer includes (DSL200),
+// include cycles with the full path printed (DSL201), private-header leaks
+// (DSL202), reliance on transitive includes for module-qualified symbols
+// (DSL203), and forward-declarable heavy includes (DSL207). The single-file
+// header-hygiene rules (DSL204..DSL206) live here too — they share the
+// scope classification — but run from lintFile so they need no graph.
+//
+// Everything is the same deliberate heuristic style as the perf pass: token
+// shapes, not a parse tree; each rule only fires on facts the pass is
+// confident about, so a miss costs a finding, never a false build break.
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/internal.hpp"
+
+namespace dynsched::lint {
+
+// Helpers shared by the header rules (internal::) and the graph pass.
+namespace {
+
+const std::set<std::string>& cppKeywords() {
+  static const std::set<std::string> kWords = {
+      "if",       "for",      "while",    "switch",  "catch",    "return",
+      "sizeof",   "alignof",  "decltype", "do",      "else",     "case",
+      "new",      "delete",   "throw",    "goto",    "default",  "operator",
+      "requires", "static_assert",        "const",   "constexpr", "inline",
+      "static",   "virtual",  "template", "typename", "class",   "struct",
+      "union",    "enum",     "namespace", "using",  "typedef",  "public",
+      "private",  "protected", "friend",  "explicit", "noexcept", "override",
+      "final",    "mutable",  "extern",   "void",    "bool",     "char",
+      "int",      "long",     "short",    "float",   "double",   "unsigned",
+      "signed",   "auto",     "true",     "false",   "nullptr",  "this"};
+  return kWords;
+}
+
+std::vector<std::string> splitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (const char c : path) {
+    if (c == '/') {
+      parts.push_back(part);  // keeps the leading "" of absolute paths
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+  parts.push_back(part);
+  return parts;
+}
+
+}  // namespace
+
+namespace internal {
+
+namespace {
+using Kind = Token::Kind;
+}  // namespace
+
+bool headerPath(const std::string& normalizedPath) {
+  const auto ends = [&](std::string_view suffix) {
+    return normalizedPath.size() >= suffix.size() &&
+           normalizedPath.compare(normalizedPath.size() - suffix.size(),
+                                  suffix.size(), suffix) == 0;
+  };
+  return ends(".hpp") || ends(".h");
+}
+
+std::string moduleOf(const std::string& normalizedPath) {
+  const std::vector<std::string> parts = splitPath(normalizedPath);
+  for (std::size_t i = 0; i + 2 < parts.size() + 1; ++i) {
+    // The component after "dynsched/" names the module — but only when it
+    // is a directory, not the file itself ("src/dynsched/core/x.cpp").
+    if (parts[i] == "dynsched" && i + 2 < parts.size()) return parts[i + 1];
+    if (parts[i] == "tools" && i + 1 < parts.size()) return "tools";
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Scope classification shared by DSL204/DSL206: which tokens sit at named-
+// namespace scope (not inside a class, enum, function body, anonymous
+// namespace, or initializer braces).
+
+namespace {
+
+std::vector<bool> namespaceScopeMask(const std::vector<Token>& tokens,
+                                     const ScopeInfo& scopes) {
+  std::set<std::size_t> functionBodies;
+  for (const FunctionDef& def : scopes.functions) {
+    functionBodies.insert(def.bodyBegin);
+  }
+  enum class Brace { Namespace, Other };
+  std::vector<Brace> stack;
+  std::size_t depthOther = 0;
+  std::vector<bool> mask(tokens.size(), false);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    mask[i] = depthOther == 0;
+    const std::string& t = tokens[i].text;
+    if (t == "{") {
+      Brace kind = Brace::Other;
+      if (functionBodies.count(i) == 0) {
+        // Scan back to the statement start looking for a `namespace` head.
+        // An anonymous namespace (nothing but idents/:: between the keyword
+        // and the brace is named; `namespace {` directly is anonymous) gets
+        // internal linkage — treat it like a non-namespace scope so the
+        // ODR rules stay quiet inside.
+        std::size_t j = i;
+        bool sawEq = false;
+        std::size_t namespaceAt = tokens.size();
+        while (j > 0) {
+          --j;
+          const std::string& p = tokens[j].text;
+          if (p == ";" || p == "{" || p == "}") break;
+          if (p == "=") sawEq = true;
+          if (p == "namespace") {
+            namespaceAt = j;
+            break;
+          }
+        }
+        if (namespaceAt != tokens.size() && !sawEq) {
+          const bool anonymous = namespaceAt + 1 == i;
+          if (!anonymous) kind = Brace::Namespace;
+        }
+      }
+      stack.push_back(kind);
+      if (kind == Brace::Other) ++depthOther;
+    } else if (t == "}") {
+      if (!stack.empty()) {
+        if (stack.back() == Brace::Other) --depthOther;
+        stack.pop_back();
+      }
+    }
+  }
+  return mask;
+}
+
+/// True when tokens[returnBegin-1] closes a `template <...>` head.
+bool templatePrefixed(const std::vector<Token>& tokens,
+                      std::size_t returnBegin) {
+  if (returnBegin == 0) return false;
+  const std::string& prev = tokens[returnBegin - 1].text;
+  if (prev != ">" && prev != ">>") return false;
+  int depth = prev == ">>" ? 2 : 1;
+  std::size_t k = returnBegin - 1;
+  while (k > 0 && depth > 0) {
+    --k;
+    const std::string& t = tokens[k].text;
+    if (t == ">") ++depth;
+    else if (t == ">>") depth += 2;
+    else if (t == "<") --depth;
+    else if (t == ";" || t == "{" || t == "}") return false;
+  }
+  return depth == 0 && k > 0 && tokens[k - 1].text == "template";
+}
+
+}  // namespace
+
+void checkHeaderRules(const FileLint& lint, const ScopeInfo& scopes) {
+  if (!headerPath(lint.path)) return;
+  const std::vector<Token>& tokens = lint.tokens;
+
+  // DSL205 — exactly one #pragma once.
+  const std::vector<std::size_t>& pragmas = lint.view.pragmaOnceLines;
+  if (pragmas.empty()) {
+    lint.report("DSL205", 1, 1,
+                "header has no #pragma once — a double inclusion redefines "
+                "everything in it; add the guard at the top");
+  } else if (pragmas.size() > 1) {
+    lint.report("DSL205", pragmas[1], 1,
+                "duplicated #pragma once (first at line " +
+                    std::to_string(pragmas[0]) + ") — keep exactly one");
+  }
+
+  const std::vector<bool> nsScope = namespaceScopeMask(tokens, scopes);
+
+  // DSL206 — using namespace at header scope.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text == "using" && tokens[i + 1].text == "namespace" &&
+        nsScope[i]) {
+      lint.report("DSL206", tokens[i].line, tokens[i].column,
+                  "using namespace at header scope leaks the whole "
+                  "namespace into every includer — qualify names or move "
+                  "the directive into a function body");
+    }
+  }
+
+  // DSL204 — non-inline function definitions at namespace scope.
+  // "template" appears here because findFunctions folds a `template <...>`
+  // head into the return-type range when the scan reaches it.
+  static const std::set<std::string> kInlineLike = {
+      "inline", "constexpr", "consteval", "static", "friend", "template"};
+  for (const FunctionDef& def : scopes.functions) {
+    if (def.lambda) continue;
+    if (def.nameIndex >= nsScope.size() || !nsScope[def.nameIndex]) continue;
+    bool exempt = templatePrefixed(tokens, def.returnBegin);
+    for (std::size_t j = def.returnBegin; !exempt && j < def.nameIndex; ++j) {
+      if (tokens[j].kind == Kind::Ident && kInlineLike.count(tokens[j].text)) {
+        exempt = true;
+      }
+    }
+    if (exempt) continue;
+    lint.report("DSL204", tokens[def.nameIndex].line,
+                tokens[def.nameIndex].column,
+                "function '" + def.name +
+                    "' is defined at namespace scope in a header without "
+                    "inline/constexpr — every TU including this header "
+                    "defines its own copy (ODR violation); mark it inline "
+                    "or move the body to a .cpp");
+  }
+
+  // DSL204 — non-inline variable definitions (with initializer) at
+  // namespace scope. Statements are token runs between ';'/'{'/'}' with
+  // preprocessor-directive lines skipped; the shape `Type name ... = ...;`
+  // with no exempting specifier is a definition.
+  static const std::set<std::string> kVarExempt = {
+      "inline",  "constexpr", "consteval", "constinit", "extern",
+      "static",  "using",     "typedef",   "template",  "class",
+      "struct",  "enum",      "union",     "namespace", "friend",
+      "const",   "static_assert"};
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == "#") {
+      const std::size_t directiveLine = tokens[i].line;
+      while (i + 1 < tokens.size() && tokens[i + 1].line == directiveLine) {
+        ++i;
+      }
+      start = i + 1;
+      continue;
+    }
+    const std::string& t = tokens[i].text;
+    if (t == "{" || t == "}") {
+      start = i + 1;
+      continue;
+    }
+    if (t != ";") continue;
+    const std::size_t s = start;
+    const std::size_t e = i;
+    start = i + 1;
+    if (s >= e || !nsScope[s]) continue;
+    if (tokens[s].kind != Kind::Ident || kVarExempt.count(tokens[s].text)) {
+      continue;
+    }
+    std::size_t eq = e;
+    int depth = 0;
+    for (std::size_t j = s; j < e; ++j) {
+      const std::string& u = tokens[j].text;
+      if (u == "(" || u == "[" || u == "{" || u == "<") ++depth;
+      if (u == ")" || u == "]" || u == "}" || u == ">") --depth;
+      if (u == ">>") depth -= 2;
+      if (depth <= 0 && u == "=") {
+        eq = j;
+        break;
+      }
+    }
+    if (eq == e || eq < s + 2) continue;  // no top-level '=', or no name
+    if (eq + 1 < e && (tokens[eq + 1].text == "delete" ||
+                       tokens[eq + 1].text == "default")) {
+      continue;  // deleted/defaulted function, not a variable
+    }
+    lint.report("DSL204", tokens[s].line, tokens[s].column,
+                "variable defined at namespace scope in a header without "
+                "inline/constexpr — each TU gets its own object (ODR "
+                "violation, and state silently diverges); mark it inline "
+                "constexpr or move it to a .cpp");
+  }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Include-graph pass
+
+namespace {
+
+using internal::FileLint;
+using internal::IncludeDirective;
+using internal::SourceView;
+using internal::Token;
+using internal::headerPath;
+using internal::jsonEscape;
+using internal::moduleOf;
+
+/// Lexically normalizes a /-separated path: folds "." and "..".
+std::string normalizeLexical(const std::string& path) {
+  std::vector<std::string> out;
+  std::string part;
+  const bool absolute = !path.empty() && path[0] == '/';
+  const auto flush = [&]() {
+    if (part.empty() || part == ".") {
+      part.clear();
+      return;
+    }
+    if (part == ".." && !out.empty() && out.back() != "..") {
+      out.pop_back();
+    } else if (!(part == ".." && absolute && out.empty())) {
+      out.push_back(part);
+    }
+    part.clear();
+  };
+  for (const char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      part.push_back(c);
+    }
+  }
+  flush();
+  std::string joined = absolute ? "/" : "";
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    joined += (i > 0 ? "/" : "") + out[i];
+  }
+  return joined;
+}
+
+std::string dirOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string stemOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+struct FileNode {
+  std::string path;    // normalized
+  std::string module;  // "" = outside the module tree
+  bool isHeader = false;
+  SourceView view;
+  std::vector<Token> tokens;
+  /// Per view.includes entry: scanned-file index, or npos when external.
+  std::vector<std::size_t> targets;
+};
+
+constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
+
+/// Declared layer DAG parsed from tools/lint/layers.txt.
+struct Layers {
+  bool provided = false;
+  std::vector<std::string> order;  // declaration order
+  std::map<std::string, std::set<std::string>> deps;
+};
+
+Layers parseLayers(std::string_view text, std::vector<std::string>& errors) {
+  Layers layers;
+  if (text.empty()) return layers;
+  layers.provided = true;
+  std::size_t lineNo = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string line(text.substr(
+        start, end == std::string_view::npos ? text.size() - start
+                                             : end - start));
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = internal::trimCopy(line);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      errors.push_back("layers.txt line " + std::to_string(lineNo) +
+                       ": expected 'module: dep dep ...'");
+      continue;
+    }
+    const std::string name = internal::trimCopy(line.substr(0, colon));
+    if (name.empty()) {
+      errors.push_back("layers.txt line " + std::to_string(lineNo) +
+                       ": empty module name");
+      continue;
+    }
+    if (layers.deps.count(name) > 0) {
+      errors.push_back("layers.txt line " + std::to_string(lineNo) +
+                       ": module '" + name + "' declared twice");
+      continue;
+    }
+    layers.order.push_back(name);
+    std::set<std::string>& deps = layers.deps[name];
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) {
+      if (dep == name) {
+        errors.push_back("layers.txt line " + std::to_string(lineNo) +
+                         ": module '" + name + "' lists itself");
+        continue;
+      }
+      deps.insert(dep);
+    }
+  }
+  // Every dependency must itself be declared, and the declared graph must
+  // be a DAG — the layer contract is meaningless otherwise.
+  for (const auto& [name, deps] : layers.deps) {
+    for (const std::string& dep : deps) {
+      if (layers.deps.count(dep) == 0) {
+        errors.push_back("layers.txt: module '" + name +
+                         "' depends on undeclared module '" + dep + "'");
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> path;
+  const std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    path.push_back(node);
+    for (const std::string& dep : layers.deps[node]) {
+      if (layers.deps.count(dep) == 0) continue;
+      if (color[dep] == 1) {
+        std::string cycle = dep;
+        for (std::size_t i = path.size(); i-- > 0;) {
+          cycle += " -> " + path[i];
+          if (path[i] == dep) break;
+        }
+        errors.push_back("layers.txt: declared dependencies form a cycle: " +
+                         cycle);
+        return false;
+      }
+      if (color[dep] == 0 && !visit(dep)) return false;
+    }
+    path.pop_back();
+    color[node] = 2;
+    return true;
+  };
+  for (const std::string& name : layers.order) {
+    if (color[name] == 0 && !visit(name)) break;
+  }
+  return layers;
+}
+
+/// Shortest cycle through `start` in `adj`, as node indices beginning and
+/// ending with `start`; empty when none. Self-loops are length-1 cycles.
+std::vector<std::size_t> shortestCycleThrough(
+    const std::vector<std::vector<std::size_t>>& adj, std::size_t start) {
+  const std::size_t n = adj.size();
+  std::vector<std::size_t> prev(n, kExternal);
+  std::vector<bool> seen(n, false);
+  std::deque<std::size_t> queue;
+  for (const std::size_t next : adj[start]) {
+    if (next == start) return {start, start};
+  }
+  queue.push_back(start);
+  // BFS from start; the first edge back into start closes a shortest cycle.
+  while (!queue.empty()) {
+    const std::size_t at = queue.front();
+    queue.pop_front();
+    for (const std::size_t next : adj[at]) {
+      if (next == start) {
+        std::vector<std::size_t> cycle = {start};
+        for (std::size_t walk = at; walk != start; walk = prev[walk]) {
+          cycle.push_back(walk);
+        }
+        std::reverse(cycle.begin() + 1, cycle.end());
+        cycle.push_back(start);
+        return cycle;
+      }
+      if (!seen[next]) {
+        seen[next] = true;
+        prev[next] = at;
+        queue.push_back(next);
+      }
+    }
+  }
+  return {};
+}
+
+/// Names a header defines (classes) and otherwise exports (enums, aliases,
+/// functions, variables, macros). Used by DSL207: an include is forward-
+/// declarable only when the includer touches nothing but class names, and
+/// each only as a pointer/reference.
+struct DefinedNames {
+  std::set<std::string> classes;
+  std::set<std::string> others;
+};
+
+DefinedNames collectDefinedNames(const std::vector<Token>& tokens) {
+  DefinedNames names;
+  const auto ident = [&](std::size_t i) {
+    return i < tokens.size() && tokens[i].kind == Token::Kind::Ident;
+  };
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if ((t == "class" || t == "struct" || t == "union") &&
+        (i == 0 || tokens[i - 1].text != "enum")) {
+      if (ident(i + 1)) {
+        const std::string& after =
+            i + 2 < tokens.size() ? tokens[i + 2].text : std::string();
+        if (after == "{" || after == ":" || after == "final") {
+          names.classes.insert(tokens[i + 1].text);
+        }
+      }
+      continue;
+    }
+    if (t == "enum") {
+      std::size_t j = i + 1;
+      if (j < tokens.size() &&
+          (tokens[j].text == "class" || tokens[j].text == "struct")) {
+        ++j;
+      }
+      if (ident(j)) names.others.insert(tokens[j].text);
+      continue;
+    }
+    if (t == "using" && ident(i + 1) && i + 2 < tokens.size() &&
+        tokens[i + 2].text == "=") {
+      names.others.insert(tokens[i + 1].text);
+      continue;
+    }
+    if (t == "define" && i > 0 && tokens[i - 1].text == "#" && ident(i + 1)) {
+      names.others.insert(tokens[i + 1].text);
+      continue;
+    }
+    if (tokens[i].kind != Token::Kind::Ident) continue;
+    if (cppKeywords().count(t) > 0) continue;
+    // Function declarations/definitions: `Type name (` — and anything the
+    // header assigns at namespace scope: `Type name = ...`.
+    if (i > 0 && i + 1 < tokens.size()) {
+      const std::string& prev = tokens[i - 1].text;
+      const std::string& next = tokens[i + 1].text;
+      const bool typeBefore = tokens[i - 1].kind == Token::Kind::Ident ||
+                              prev == ">" || prev == "&" || prev == "*" ||
+                              prev == "::" || prev == "~";
+      if ((next == "(" && typeBefore) || next == "=") {
+        names.others.insert(t);
+      }
+    }
+    // ALL_CAPS identifiers are macro-shaped; treat them as exports too.
+    if (t.size() >= 2 &&
+        std::all_of(t.begin(), t.end(),
+                    [](char c) {
+                      return (std::isupper(static_cast<unsigned char>(c)) !=
+                              0) ||
+                             (std::isdigit(static_cast<unsigned char>(c)) !=
+                              0) ||
+                             c == '_';
+                    }) &&
+        std::any_of(t.begin(), t.end(), [](char c) {
+          return std::isupper(static_cast<unsigned char>(c)) != 0;
+        })) {
+      names.others.insert(t);
+    }
+  }
+  for (const std::string& name : names.classes) names.others.erase(name);
+  return names;
+}
+
+/// Namespace component -> module. dynsched modules use their own name as
+/// the namespace; the lint tool itself lives in dynsched::lint under the
+/// "tools" module.
+std::string moduleForNamespace(const std::string& ns,
+                               const std::set<std::string>& knownModules) {
+  if (ns == "lint") return "tools";
+  return knownModules.count(ns) > 0 ? ns : "";
+}
+
+}  // namespace
+
+IncludeGraphResult analyzeIncludeGraph(const std::vector<SourceFile>& files,
+                                       std::string_view layersText) {
+  IncludeGraphResult result;
+  const Layers layers = parseLayers(layersText, result.errors);
+
+  // ---- load + resolve -----------------------------------------------------
+  std::vector<FileNode> nodes;
+  nodes.reserve(files.size());
+  std::map<std::string, std::size_t> byPath;
+  std::set<std::string> roots;  // prefixes ending in a src/ or tools/ comp
+  for (const SourceFile& file : files) {
+    FileNode node;
+    node.path = normalizeLexical(file.path);
+    node.module = moduleOf(node.path);
+    node.isHeader = headerPath(node.path);
+    node.view = internal::preprocess(file.contents);
+    node.tokens = internal::tokenize(node.view.code);
+    byPath.emplace(node.path, nodes.size());
+    std::string prefix;
+    for (const std::string& part : splitPath(node.path)) {
+      prefix += part + "/";
+      if (part == "src" || part == "tools") roots.insert(prefix);
+    }
+    nodes.push_back(std::move(node));
+  }
+  for (FileNode& node : nodes) {
+    node.targets.reserve(node.view.includes.size());
+    for (const IncludeDirective& inc : node.view.includes) {
+      std::size_t target = kExternal;
+      if (!inc.angled) {
+        const std::string relative =
+            normalizeLexical(dirOf(node.path) + "/" + inc.path);
+        const auto it = byPath.find(relative);
+        if (it != byPath.end()) target = it->second;
+      }
+      if (target == kExternal) {
+        for (const std::string& root : roots) {
+          const auto it = byPath.find(normalizeLexical(root + inc.path));
+          if (it != byPath.end()) {
+            target = it->second;
+            break;
+          }
+        }
+      }
+      node.targets.push_back(target);
+    }
+  }
+
+  const auto reporter = [&](const FileNode& node) {
+    return FileLint{node.path, node.view, node.tokens, result.findings};
+  };
+
+  std::set<std::string> knownModules;
+  for (const FileNode& node : nodes) {
+    if (!node.module.empty()) knownModules.insert(node.module);
+  }
+  for (const std::string& name : layers.order) knownModules.insert(name);
+
+  // ---- module graph -------------------------------------------------------
+  struct EdgeInfo {
+    std::size_t count = 0;
+    std::size_t file = kExternal;  // representative directive for anchors
+    std::size_t line = 0;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeInfo> moduleEdges;
+  for (std::size_t f = 0; f < nodes.size(); ++f) {
+    const FileNode& node = nodes[f];
+    for (std::size_t k = 0; k < node.targets.size(); ++k) {
+      if (node.targets[k] == kExternal) continue;
+      const FileNode& target = nodes[node.targets[k]];
+      if (node.module.empty() || target.module.empty() ||
+          node.module == target.module) {
+        continue;
+      }
+      EdgeInfo& info = moduleEdges[{node.module, target.module}];
+      ++info.count;
+      if (info.file == kExternal) {
+        info.file = f;
+        info.line = node.view.includes[k].line;
+      }
+    }
+  }
+
+  // ---- DSL200: undeclared cross-layer includes ----------------------------
+  if (layers.provided) {
+    for (std::size_t f = 0; f < nodes.size(); ++f) {
+      const FileNode& node = nodes[f];
+      if (node.module.empty()) continue;
+      const auto declared = layers.deps.find(node.module);
+      for (std::size_t k = 0; k < node.targets.size(); ++k) {
+        if (node.targets[k] == kExternal) continue;
+        const FileNode& target = nodes[node.targets[k]];
+        if (target.module.empty() || target.module == node.module) continue;
+        if (declared == layers.deps.end()) {
+          reporter(node).report(
+              "DSL200", node.view.includes[k].line, 1,
+              "module '" + node.module +
+                  "' is not declared in tools/lint/layers.txt — add a '" +
+                  node.module + ": <deps>' line before it grows includes");
+          continue;
+        }
+        if (declared->second.count(target.module) > 0) continue;
+        std::string allowed;
+        for (const std::string& dep : declared->second) {
+          allowed += (allowed.empty() ? "" : ", ") + dep;
+        }
+        reporter(node).report(
+            "DSL200", node.view.includes[k].line, 1,
+            "include of '" + node.view.includes[k].path + "' (module '" +
+                target.module + "') from module '" + node.module +
+                "' is not declared in tools/lint/layers.txt ('" +
+                node.module + "' may include: " +
+                (allowed.empty() ? "nothing" : allowed) +
+                ") — invert the dependency or amend the layer contract");
+      }
+    }
+  }
+
+  // ---- DSL201: cycles, module-level then file-level -----------------------
+  {
+    std::vector<std::string> moduleList(knownModules.begin(),
+                                        knownModules.end());
+    std::map<std::string, std::size_t> moduleIndex;
+    for (std::size_t i = 0; i < moduleList.size(); ++i) {
+      moduleIndex[moduleList[i]] = i;
+    }
+    std::vector<std::vector<std::size_t>> adj(moduleList.size());
+    for (const auto& [edge, info] : moduleEdges) {
+      adj[moduleIndex[edge.first]].push_back(moduleIndex[edge.second]);
+    }
+    for (std::size_t m = 0; m < moduleList.size(); ++m) {
+      const std::vector<std::size_t> cycle = shortestCycleThrough(adj, m);
+      if (cycle.empty()) continue;
+      // Report each cycle once: from its lexicographically-smallest module.
+      if (*std::min_element(cycle.begin(), cycle.end()) != m) continue;
+      std::string path;
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        path += (i > 0 ? " -> " : "") + moduleList[cycle[i]];
+      }
+      const EdgeInfo& info =
+          moduleEdges.at({moduleList[cycle[0]], moduleList[cycle[1]]});
+      reporter(nodes[info.file])
+          .report("DSL201", info.line, 1,
+                  "module include cycle: " + path +
+                      " — break the upward edge (dependency inversion: the "
+                      "lower module declares the interface, the higher one "
+                      "implements it)");
+    }
+  }
+  {
+    std::vector<std::vector<std::size_t>> adj(nodes.size());
+    for (std::size_t f = 0; f < nodes.size(); ++f) {
+      for (const std::size_t target : nodes[f].targets) {
+        if (target != kExternal) adj[f].push_back(target);
+      }
+    }
+    for (std::size_t f = 0; f < nodes.size(); ++f) {
+      const std::vector<std::size_t> cycle = shortestCycleThrough(adj, f);
+      if (cycle.empty()) continue;
+      const auto smallest = [&](std::size_t a, std::size_t b) {
+        return nodes[a].path < nodes[b].path;
+      };
+      if (*std::min_element(cycle.begin(), cycle.end(), smallest) != f) {
+        continue;
+      }
+      const FileNode& node = nodes[f];
+      std::size_t line = 1;
+      for (std::size_t k = 0; k < node.targets.size(); ++k) {
+        if (node.targets[k] == cycle[1]) {
+          line = node.view.includes[k].line;
+          break;
+        }
+      }
+      std::string path;
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        path += (i > 0 ? " -> " : "") + nodes[cycle[i]].path;
+      }
+      reporter(node).report(
+          "DSL201", line, 1,
+          cycle.size() == 2
+              ? "header includes itself: " + path
+              : "file include cycle: " + path +
+                    " — hoist the shared declarations into a header both "
+                    "sides can include");
+    }
+  }
+
+  // ---- DSL202: private headers included across module boundaries ----------
+  for (const FileNode& node : nodes) {
+    for (std::size_t k = 0; k < node.targets.size(); ++k) {
+      if (node.targets[k] == kExternal) continue;
+      const FileNode& target = nodes[node.targets[k]];
+      if (node.module.empty() || target.module.empty() ||
+          node.module == target.module) {
+        continue;
+      }
+      const std::vector<std::string> parts = splitPath(target.path);
+      const std::string& name = parts.back();
+      const bool isPrivate =
+          std::find(parts.begin(), parts.end(), "detail") != parts.end() ||
+          name == "internal.hpp" || name == "internal.h" ||
+          name.find("_internal.") != std::string::npos;
+      if (!isPrivate) continue;
+      reporter(node).report(
+          "DSL202", node.view.includes[k].line, 1,
+          "'" + node.view.includes[k].path + "' is a private header of "
+              "module '" + target.module + "' (detail/ or internal) — "
+              "include the module's public header instead, or promote the "
+              "declaration");
+    }
+  }
+
+  // ---- DSL203: module-qualified symbols without a direct include ----------
+  for (std::size_t f = 0; f < nodes.size(); ++f) {
+    const FileNode& node = nodes[f];
+    if (node.module.empty()) continue;
+    std::set<std::string> covered = {node.module};
+    for (const std::size_t target : node.targets) {
+      if (target != kExternal && !nodes[target].module.empty()) {
+        covered.insert(nodes[target].module);
+      }
+    }
+    // A .cpp is covered by its primary header's direct includes too — the
+    // header is its interface (standard include-what-you-use exemption).
+    if (!node.isHeader) {
+      const std::string stem = stemOf(node.path);
+      for (const std::size_t target : node.targets) {
+        if (target == kExternal) continue;
+        const FileNode& header = nodes[target];
+        if (!header.isHeader || header.module != node.module ||
+            stemOf(header.path) != stem) {
+          continue;
+        }
+        for (const std::size_t deep : header.targets) {
+          if (deep != kExternal && !nodes[deep].module.empty()) {
+            covered.insert(nodes[deep].module);
+          }
+        }
+      }
+    }
+    // A forward declaration satisfies the rule (iwyu semantics): opening
+    // `namespace dynsched::sim { class Simulator; }` covers sim.
+    const std::vector<Token>& tokens = node.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].text != "namespace") continue;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].kind == Token::Kind::Ident) {
+          const std::string mod =
+              moduleForNamespace(tokens[j].text, knownModules);
+          if (!mod.empty()) covered.insert(mod);
+        } else if (tokens[j].text != "::") {
+          break;
+        }
+      }
+    }
+    std::set<std::string> reported;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::Ident ||
+          tokens[i + 1].text != "::" ||
+          tokens[i + 2].kind != Token::Kind::Ident) {
+        continue;
+      }
+      if (i > 0 && tokens[i - 1].text == "::") {
+        if (i < 2 || tokens[i - 2].text != "dynsched") continue;
+      }
+      // `namespace dynsched::core {` / `using namespace ...` declare, they
+      // do not use — walk the qualifier chain back to its head.
+      std::size_t head = i;
+      while (head >= 2 && tokens[head - 1].text == "::" &&
+             tokens[head - 2].kind == Token::Kind::Ident) {
+        head -= 2;
+      }
+      if (head > 0 && tokens[head - 1].text == "namespace") continue;
+      const std::string mod =
+          moduleForNamespace(tokens[i].text, knownModules);
+      if (mod.empty() || mod == node.module) continue;
+      if (covered.count(mod) > 0 || reported.count(mod) > 0) continue;
+      reported.insert(mod);
+      reporter(node).report(
+          "DSL203", tokens[i].line, tokens[i].column,
+          "uses " + tokens[i].text + "::" + tokens[i + 2].text +
+              " but includes no dynsched/" + mod +
+              "/ header directly (relies on a transitive include) — "
+              "include what you use");
+    }
+  }
+
+  // ---- DSL207: forward-declarable heavy includes in headers ---------------
+  std::map<std::size_t, DefinedNames> definedCache;
+  const auto definedNames = [&](std::size_t index) -> const DefinedNames& {
+    auto it = definedCache.find(index);
+    if (it == definedCache.end()) {
+      it = definedCache
+               .emplace(index, collectDefinedNames(nodes[index].tokens))
+               .first;
+    }
+    return it->second;
+  };
+  for (const FileNode& node : nodes) {
+    if (!node.isHeader) continue;
+    for (std::size_t k = 0; k < node.targets.size(); ++k) {
+      const std::size_t targetIndex = node.targets[k];
+      if (targetIndex == kExternal || node.view.includes[k].conditional) {
+        continue;
+      }
+      const FileNode& target = nodes[targetIndex];
+      if (!target.isHeader || target.path == node.path) continue;
+      const DefinedNames& defined = definedNames(targetIndex);
+      if (defined.classes.empty()) continue;
+      bool pointerRefUse = false;
+      bool disqualified = false;
+      for (std::size_t i = 0; i < node.tokens.size() && !disqualified; ++i) {
+        const Token& tok = node.tokens[i];
+        if (tok.kind != Token::Kind::Ident) continue;
+        if (defined.classes.count(tok.text) > 0) {
+          const std::string& prev = i > 0 ? node.tokens[i - 1].text : "";
+          if (prev == "class" || prev == "struct") continue;  // fwd decl
+          const std::string& next =
+              i + 1 < node.tokens.size() ? node.tokens[i + 1].text : "";
+          if (next == "*" || next == "&" || next == "&&") {
+            pointerRefUse = true;
+          } else {
+            disqualified = true;  // by value, base class, X::member, ...
+          }
+        } else if (defined.others.count(tok.text) > 0) {
+          disqualified = true;  // touches a function/enum/alias/macro too
+        }
+      }
+      if (!pointerRefUse || disqualified) continue;
+      reporter(node).report(
+          "DSL207", node.view.includes[k].line, 1,
+          "'" + node.view.includes[k].path + "' is only needed for "
+              "pointer/reference uses of its types here — forward-declare "
+              "them and move the include into the consuming .cpp");
+    }
+  }
+
+  // ---- resolved module graph ---------------------------------------------
+  {
+    std::set<std::string> inOrder;
+    for (const std::string& name : layers.order) {
+      result.graph.modules.push_back(name);
+      inOrder.insert(name);
+    }
+    for (const std::string& name : knownModules) {
+      if (inOrder.count(name) == 0) result.graph.modules.push_back(name);
+    }
+    for (const std::string& name : result.graph.modules) {
+      result.graph.moduleFiles[name];  // modules with no files still render
+      const auto it = layers.deps.find(name);
+      if (it != layers.deps.end()) {
+        result.graph.declaredDeps[name] =
+            std::vector<std::string>(it->second.begin(), it->second.end());
+      }
+    }
+    for (const FileNode& node : nodes) {
+      if (!node.module.empty()) {
+        result.graph.moduleFiles[node.module].push_back(node.path);
+      }
+    }
+    for (auto& [name, list] : result.graph.moduleFiles) {
+      std::sort(list.begin(), list.end());
+    }
+    for (const auto& [edge, info] : moduleEdges) {
+      ModuleEdge out;
+      out.from = edge.first;
+      out.to = edge.second;
+      out.includeCount = info.count;
+      const auto it = layers.deps.find(edge.first);
+      out.declared = !layers.provided ||
+                     (it != layers.deps.end() && it->second.count(edge.second));
+      result.graph.edges.push_back(std::move(out));
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+std::string renderGraphJson(const ModuleGraph& graph) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"dynsched-lint\",\n  \"graph\": \"modules\",\n"
+     << "  \"version\": 1,\n  \"modules\": [";
+  for (std::size_t i = 0; i < graph.modules.size(); ++i) {
+    const std::string& name = graph.modules[i];
+    os << (i > 0 ? "," : "") << "\n    {\"name\": \"" << jsonEscape(name)
+       << "\", \"files\": [";
+    const auto files = graph.moduleFiles.find(name);
+    if (files != graph.moduleFiles.end()) {
+      for (std::size_t j = 0; j < files->second.size(); ++j) {
+        os << (j > 0 ? ", " : "") << '"' << jsonEscape(files->second[j])
+           << '"';
+      }
+    }
+    os << "], \"declaredDeps\": [";
+    const auto deps = graph.declaredDeps.find(name);
+    if (deps != graph.declaredDeps.end()) {
+      for (std::size_t j = 0; j < deps->second.size(); ++j) {
+        os << (j > 0 ? ", " : "") << '"' << jsonEscape(deps->second[j])
+           << '"';
+      }
+    }
+    os << "]}";
+  }
+  os << (graph.modules.empty() ? "" : "\n  ") << "],\n  \"edges\": [";
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const ModuleEdge& edge = graph.edges[i];
+    os << (i > 0 ? "," : "") << "\n    {\"from\": \"" << jsonEscape(edge.from)
+       << "\", \"to\": \"" << jsonEscape(edge.to)
+       << "\", \"includes\": " << edge.includeCount << ", \"declared\": "
+       << (edge.declared ? "true" : "false") << "}";
+  }
+  os << (graph.edges.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+std::string renderGraphDot(const ModuleGraph& graph) {
+  std::ostringstream os;
+  os << "// dynsched module include graph — emitted by dynsched-lint\n"
+     << "// solid: declared+used   red: undeclared (DSL200)   dashed: "
+        "declared, currently unused\n"
+     << "digraph dynsched_modules {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const std::string& name : graph.modules) {
+    std::size_t fileCount = 0;
+    const auto files = graph.moduleFiles.find(name);
+    if (files != graph.moduleFiles.end()) fileCount = files->second.size();
+    os << "  \"" << name << "\" [label=\"" << name << "\\n" << fileCount
+       << " file" << (fileCount == 1 ? "" : "s") << "\"];\n";
+  }
+  std::set<std::pair<std::string, std::string>> used;
+  for (const ModuleEdge& edge : graph.edges) {
+    used.insert({edge.from, edge.to});
+    os << "  \"" << edge.from << "\" -> \"" << edge.to << "\" [label=\""
+       << edge.includeCount << "\"";
+    if (!edge.declared) os << ", color=red, penwidth=2";
+    os << "];\n";
+  }
+  for (const auto& [name, deps] : graph.declaredDeps) {
+    for (const std::string& dep : deps) {
+      if (used.count({name, dep}) > 0) continue;
+      os << "  \"" << name << "\" -> \"" << dep
+         << "\" [style=dashed, color=gray];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dynsched::lint

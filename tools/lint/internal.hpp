@@ -1,8 +1,10 @@
 // Shared engine internals for dynsched-lint. lint.cpp owns preprocessing,
 // tokenizing, the structural DSL00x rules, and rendering; perf_rules.cpp
 // builds the scope analysis (loop nesting, function bodies) on top of the
-// same token stream and implements the hot-path DSL10x family. Nothing in
-// here is public API — tools include lint/lint.hpp.
+// same token stream and implements the hot-path DSL10x family;
+// graph_rules.cpp adds the header-hygiene rules (DSL204..DSL206) and the
+// cross-file include-graph pass (DSL200..DSL203, DSL207). Nothing in here
+// is public API — tools include lint/lint.hpp.
 #pragma once
 
 #include <cstddef>
@@ -25,10 +27,24 @@ struct Suppression {
   std::string problem;  // why it is malformed (DSL000 message)
 };
 
+/// One #include directive harvested during preprocessing. Directives inside
+/// comments never reach the harvester (the lexer is already past them);
+/// directives inside an `#if 0` branch are dropped as dead; directives under
+/// any other preprocessor conditional are kept but flagged, so the graph
+/// pass can treat them as real (conservative) edges.
+struct IncludeDirective {
+  std::string path;          // as written, between the delimiters
+  bool angled = false;       // <...> vs "..."
+  bool conditional = false;  // inside a live #if/#ifdef/#ifndef region
+  std::size_t line = 0;      // 1-based
+};
+
 struct SourceView {
   std::string code;                // literals/comments -> spaces
   std::vector<std::string> lines;  // raw source lines (for snippets)
   std::map<std::size_t, Suppression> suppressions;  // by 1-based line
+  std::vector<IncludeDirective> includes;           // in source order
+  std::vector<std::size_t> pragmaOnceLines;         // 1-based, in order
 };
 
 SourceView preprocess(std::string_view text);
@@ -36,6 +52,7 @@ SourceView preprocess(std::string_view text);
 std::string trimCopy(std::string_view text);
 std::string lowered(std::string text);
 bool pathHas(const std::string& normalized, std::string_view piece);
+std::string jsonEscape(const std::string& text);
 
 // ---------------------------------------------------------------------------
 // Token stream over the code view.
@@ -116,5 +133,22 @@ bool hotPath(const std::string& normalizedPath);
 
 /// DSL100..DSL107 — perf rules, applied only to hotPath() files.
 void checkPerfRules(const FileLint& lint, const ScopeInfo& scopes);
+
+// ---------------------------------------------------------------------------
+// Module layer: path -> module mapping shared by the graph pass and rules.
+
+/// True for header files (.hpp/.h) — the DSL204..DSL207 scope.
+bool headerPath(const std::string& normalizedPath);
+
+/// Module owning a /-normalized path: the path component directly after a
+/// "dynsched/" component ("src/dynsched/core/planner.cpp" -> "core"), or
+/// "tools" for anything under a "tools/" component. Empty for paths outside
+/// the module tree (tests, benches, fixtures) — those files join the graph
+/// as plain nodes but never trigger module-boundary rules.
+std::string moduleOf(const std::string& normalizedPath);
+
+/// DSL204..DSL206 — single-file header hygiene, applied to headerPath()
+/// files from lintFile (graph context not required).
+void checkHeaderRules(const FileLint& lint, const ScopeInfo& scopes);
 
 }  // namespace dynsched::lint::internal

@@ -18,41 +18,70 @@ namespace {
 // ---------------------------------------------------------------------------
 // Rule catalog & path scoping
 
+constexpr const char* kScopeAll = "all files";
+constexpr const char* kScopeHot = "hot path (lp/, mip/, tip/)";
+constexpr const char* kScopeHeaders = "headers";
+constexpr const char* kScopeTree = "tree (include graph)";
+
 const std::vector<RuleInfo> kRules = {
     {"DSL000", "malformed dynsched-lint suppression (unknown rule ID or "
-               "missing reason)"},
+               "missing reason)", kScopeAll, 1},
     {"DSL001", "raw std:: mutex/condition_variable/lock outside util/mutex.hpp"
-               " — use the capability-annotated util::Mutex family"},
+               " — use the capability-annotated util::Mutex family",
+     kScopeAll, 1},
     {"DSL002", "util::Mutex member without a DYNSCHED_GUARDED_BY(<name>) "
-               "field in the same file"},
+               "field in the same file", kScopeAll, 1},
     {"DSL003", "std::thread / pthread_create outside util/thread_pool — all "
-               "parallelism goes through util::ThreadPool"},
+               "parallelism goes through util::ThreadPool", kScopeAll, 1},
     {"DSL004", "raw file write (std::ofstream / fopen) outside util/journal "
-               "and lp/mps_writer — use util::atomicWriteFile"},
+               "and lp/mps_writer — use util::atomicWriteFile", kScopeAll, 1},
     {"DSL005", "unchecked * or + on model-size expressions in tip//lp//mip/ "
-               "— use util::checkedMul / util::checkedAdd"},
+               "— use util::checkedMul / util::checkedAdd", kScopeHot, 1},
     {"DSL006", "rand()/std:: random machinery outside util/rng — streams "
-               "must be bit-reproducible"},
+               "must be bit-reproducible", kScopeAll, 1},
     {"DSL007", "catch (...) whose handler never rethrows — the error is "
-               "silently dropped"},
+               "silently dropped", kScopeAll, 1},
     {"DSL100", "heap allocation inside a loop in a hot-path file (new / "
-               "make_unique / make_shared) — hoist or pool the allocation"},
+               "make_unique / make_shared) — hoist or pool the allocation",
+     kScopeHot, 2},
     {"DSL101", "container or heavy model object constructed inside a loop in "
-               "a hot-path file — hoist the buffer and reuse its capacity"},
+               "a hot-path file — hoist the buffer and reuse its capacity",
+     kScopeHot, 2},
     {"DSL102", "push_back/emplace_back in a loop with no reserve()/resize() "
-               "for that container anywhere in the file"},
+               "for that container anywhere in the file", kScopeHot, 2},
     {"DSL103", "non-trivial parameter (vector/string/model struct) passed by "
                "value in a hot-path function definition — take const& (or "
-               "move the sink param into place)"},
+               "move the sink param into place)", kScopeHot, 2},
     {"DSL104", "repeated map operator[]/at() lookups with the same key in "
-               "one function — hoist a reference to the mapped value"},
+               "one function — hoist a reference to the mapped value",
+     kScopeHot, 2},
     {"DSL105", "std::endl / per-iteration stream flush in a hot-path file — "
-               "use '\\n' and flush once at the end"},
+               "use '\\n' and flush once at the end", kScopeHot, 2},
     {"DSL106", "shared_ptr copied where a reference suffices (by-value "
                "param or per-iteration copy) — pass const& / use the raw "
-               "object"},
+               "object", kScopeHot, 2},
     {"DSL107", "heavy container returned by value from a per-node B&B "
-               "helper — write into a caller-owned buffer instead"},
+               "helper — write into a caller-owned buffer instead",
+     kScopeHot, 2},
+    {"DSL200", "include crossing module layers in a direction not declared "
+               "in tools/lint/layers.txt", kScopeTree, 3},
+    {"DSL201", "include cycle (module- or file-level), reported with the "
+               "full cycle path", kScopeTree, 3},
+    {"DSL202", "private header (detail/ or internal header) included from "
+               "another module", kScopeTree, 3},
+    {"DSL203", "module-qualified symbol used without a direct include of "
+               "any header from that module (include-what-you-use-lite)",
+     kScopeTree, 3},
+    {"DSL204", "non-inline function/variable definition at namespace scope "
+               "in a header — ODR violation once two TUs include it",
+     kScopeHeaders, 3},
+    {"DSL205", "missing or duplicated #pragma once in a header",
+     kScopeHeaders, 3},
+    {"DSL206", "using namespace at header scope — leaks into every "
+               "includer", kScopeHeaders, 3},
+    {"DSL207", "header include whose defined types appear only as "
+               "pointers/references — forward-declare and include in the "
+               ".cpp instead", kScopeTree, 3},
 };
 
 bool knownRule(const std::string& id) {
@@ -163,6 +192,29 @@ bool identByte(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
+/// The encoding prefixes that turn a '"' into a raw string literal.
+bool rawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+bool hspace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Strips line/block comments from a directive tail and trims it; used to
+/// decide whether an `#if` expression is literally `0` (a dead branch).
+std::string directiveTail(std::string_view text, std::size_t at) {
+  std::string out;
+  while (at < text.size() && text[at] != '\n') {
+    if (text[at] == '/' && at + 1 < text.size() &&
+        (text[at + 1] == '/' || text[at + 1] == '*')) {
+      break;  // good enough for a one-line directive expression
+    }
+    out.push_back(text[at]);
+    ++at;
+  }
+  return trimCopy(out);
+}
+
 }  // namespace
 
 namespace internal {
@@ -184,12 +236,72 @@ SourceView preprocess(std::string_view text) {
   enum class State { Code, LineComment, BlockComment, String, Char };
   State state = State::Code;
   std::size_t line = 1;
+  std::size_t lineStart = 0;  // offset of the current line's first byte
   std::size_t commentStartLine = 0;
   std::string comment;
   char prevCode = '\0';  // last non-space code byte (digit-separator check)
   const auto newline = [&](std::size_t at) {
     view.code[at] = '\n';  // newlines survive blanking so token lines hold
     ++line;
+    lineStart = at + 1;
+  };
+  // Preprocessor-conditional nesting; a region is dead when any level is
+  // (only a literal `#if 0` makes one — everything else is conservatively
+  // live, since the lexer cannot evaluate macros).
+  struct Cond {
+    bool dead = false;
+  };
+  std::vector<Cond> conds;
+  const auto inDeadRegion = [&]() {
+    return std::any_of(conds.begin(), conds.end(),
+                       [](const Cond& c) { return c.dead; });
+  };
+  // Peeks a preprocessor directive starting at text[hash] == '#'. Only
+  // called when everything before the '#' on this line is blank (comments
+  // are already spaces in the code view, so `/* */ #include` still counts
+  // while a '#' inside code or a comment never reaches here). The main
+  // state machine keeps running over the same bytes afterwards, so string
+  // blanking and offsets stay exact.
+  const auto peekDirective = [&](std::size_t hash) {
+    std::size_t p = hash + 1;
+    while (p < text.size() && hspace(text[p])) ++p;
+    std::size_t wordEnd = p;
+    while (wordEnd < text.size() && identByte(text[wordEnd])) ++wordEnd;
+    const std::string_view word = text.substr(p, wordEnd - p);
+    p = wordEnd;
+    while (p < text.size() && hspace(text[p])) ++p;
+    if (word == "if") {
+      conds.push_back({directiveTail(text, p) == "0"});
+    } else if (word == "ifdef" || word == "ifndef") {
+      conds.push_back({false});
+    } else if (word == "elif") {
+      if (!conds.empty()) conds.back().dead = directiveTail(text, p) == "0";
+    } else if (word == "else") {
+      if (!conds.empty()) conds.back().dead = false;
+    } else if (word == "endif") {
+      if (!conds.empty()) conds.pop_back();
+    } else if (word == "pragma") {
+      std::size_t onceEnd = p;
+      while (onceEnd < text.size() && identByte(text[onceEnd])) ++onceEnd;
+      if (text.substr(p, onceEnd - p) == "once" && !inDeadRegion()) {
+        view.pragmaOnceLines.push_back(line);
+      }
+    } else if (word == "include" && p < text.size() && !inDeadRegion()) {
+      const char open = text[p];
+      const char close = open == '<' ? '>' : '"';
+      if (open == '<' || open == '"') {
+        const std::size_t end = text.find(close, p + 1);
+        if (end != std::string_view::npos &&
+            text.find('\n', p + 1) > end) {  // delimiter closes on this line
+          IncludeDirective inc;
+          inc.path = std::string(text.substr(p + 1, end - p - 1));
+          inc.angled = open == '<';
+          inc.conditional = !conds.empty();
+          inc.line = line;
+          view.includes.push_back(std::move(inc));
+        }
+      }
+    }
   };
   std::size_t i = 0;
   while (i < text.size()) {
@@ -197,6 +309,16 @@ SourceView preprocess(std::string_view text) {
     const char next = i + 1 < text.size() ? text[i + 1] : '\0';
     switch (state) {
       case State::Code:
+        if (c == '#') {
+          bool blankSoFar = true;
+          for (std::size_t at = lineStart; at < i; ++at) {
+            if (!hspace(view.code[at])) {
+              blankSoFar = false;
+              break;
+            }
+          }
+          if (blankSoFar) peekDirective(i);
+        }
         if (c == '/' && next == '/') {
           state = State::LineComment;
           commentStartLine = line;
@@ -212,8 +334,45 @@ SourceView preprocess(std::string_view text) {
           continue;
         }
         if (c == '"') {
-          // Raw strings are not used in this tree; a plain-string scan that
-          // honours backslash escapes is sufficient and keeps offsets exact.
+          // Raw string literal? The identifier immediately before the quote
+          // must be exactly an encoding prefix (R, LR, uR, UR, u8R) — a
+          // longer identifier (`FOOR"x"`) is macro-pasted code, not raw.
+          std::size_t prefixBegin = i;
+          while (prefixBegin > 0 && identByte(text[prefixBegin - 1])) {
+            --prefixBegin;
+          }
+          if (rawStringPrefix(text.substr(prefixBegin, i - prefixBegin))) {
+            // R"delim( ... )delim" — find the ')delim"' terminator; no
+            // escape processing happens inside, and literal newlines are
+            // legal (they must survive blanking so line numbers hold).
+            std::size_t d = i + 1;
+            std::string delim;
+            while (d < text.size() && text[d] != '(' && text[d] != '\n' &&
+                   text[d] != ')' && text[d] != '\\' && !hspace(text[d]) &&
+                   delim.size() <= 16) {
+              delim.push_back(text[d]);
+              ++d;
+            }
+            if (d < text.size() && text[d] == '(') {
+              const std::string terminator = ")" + delim + "\"";
+              const std::size_t at = text.find(terminator, d + 1);
+              const std::size_t end = at == std::string_view::npos
+                                          ? text.size()
+                                          : at + terminator.size();
+              for (std::size_t k = prefixBegin; k < end; ++k) {
+                if (text[k] == '\n') {
+                  newline(k);
+                } else {
+                  view.code[k] = ' ';  // also blanks the already-copied prefix
+                }
+              }
+              prevCode = '"';
+              i = end;
+              continue;
+            }
+            // No '(' after the prefix: not a raw literal after all; fall
+            // through and treat the quote as an ordinary string start.
+          }
           state = State::String;
           ++i;
           continue;
@@ -767,6 +926,7 @@ std::vector<Finding> lintFile(const std::string& path,
   checkCatchAllDrops(lint);
   const internal::ScopeInfo scopes = internal::analyzeScopes(tokens);
   internal::checkPerfRules(lint, scopes);
+  internal::checkHeaderRules(lint, scopes);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
@@ -817,6 +977,11 @@ void collectFiles(const std::filesystem::path& root,
 }  // namespace
 
 LintResult lintPaths(const std::vector<std::string>& paths) {
+  return lintPaths(paths, TreeLintOptions{});
+}
+
+LintResult lintPaths(const std::vector<std::string>& paths,
+                     const TreeLintOptions& options) {
   LintResult result;
   std::vector<std::filesystem::path> files;
   for (const std::string& path : paths) {
@@ -824,6 +989,8 @@ LintResult lintPaths(const std::vector<std::string>& paths) {
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const auto& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -833,12 +1000,29 @@ LintResult lintPaths(const std::vector<std::string>& paths) {
     std::ostringstream contents;
     contents << in.rdbuf();
     ++result.filesScanned;
-    std::vector<Finding> findings =
-        lintFile(file.generic_string(), contents.str());
+    sources.push_back({file.generic_string(), contents.str()});
+  }
+  for (const SourceFile& source : sources) {
+    std::vector<Finding> findings = lintFile(source.path, source.contents);
     result.findings.insert(result.findings.end(),
                            std::make_move_iterator(findings.begin()),
                            std::make_move_iterator(findings.end()));
   }
+  IncludeGraphResult graph = analyzeIncludeGraph(sources, options.layersText);
+  result.findings.insert(result.findings.end(),
+                         std::make_move_iterator(graph.findings.begin()),
+                         std::make_move_iterator(graph.findings.end()));
+  result.errors.insert(result.errors.end(),
+                       std::make_move_iterator(graph.errors.begin()),
+                       std::make_move_iterator(graph.errors.end()));
+  if (options.graphOut != nullptr) *options.graphOut = std::move(graph.graph);
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.column != b.column) return a.column < b.column;
+              return a.rule < b.rule;
+            });
   return result;
 }
 
@@ -943,7 +1127,7 @@ BaselineResult applyBaseline(LintResult& result,
   return outcome;
 }
 
-namespace {
+namespace internal {
 
 std::string jsonEscape(const std::string& text) {
   std::ostringstream os;
@@ -968,6 +1152,10 @@ std::string jsonEscape(const std::string& text) {
   return os.str();
 }
 
+}  // namespace internal
+
+namespace {
+using internal::jsonEscape;
 }  // namespace
 
 std::string renderJson(const LintResult& result) {

@@ -52,9 +52,29 @@
 //   DSL106  shared_ptr copies (by-value param / per-iteration copy)
 //   DSL107  heavy container returned by value from a per-node B&B helper
 //           (name contains node/child/candidate/branch/dfs/separate/...)
+//
+// Module-graph rules (include-graph pass over the whole scanned tree; the
+// layer DAG lives in tools/lint/layers.txt, see DESIGN.md §9):
+//   DSL200  include crossing module layers in a direction layers.txt does
+//           not declare (upward or undeclared cross-layer dependency)
+//   DSL201  include cycle (module- or file-level), reported with the full
+//           cycle path
+//   DSL202  private header (a module's detail/ or internal header) included
+//           from another module
+//   DSL203  module-qualified symbol used without a direct include of any
+//           header from that module (include-what-you-use-lite; a .cpp is
+//           covered by its primary header's direct includes)
+//   DSL204  non-inline function/variable definition at namespace scope in a
+//           header (ODR violation once two TUs include it)
+//   DSL205  missing or duplicated #pragma once in a header
+//   DSL206  using namespace at header scope (leaks into every includer)
+//   DSL207  header include whose defined types appear only as pointers or
+//           references — forward-declare instead and move the include into
+//           the consuming .cpp
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,7 +85,7 @@ struct Finding {
   std::string file;
   std::size_t line = 0;    ///< 1-based
   std::size_t column = 0;  ///< 1-based
-  std::string rule;        ///< "DSL001" ... "DSL107", "DSL000"
+  std::string rule;        ///< "DSL001" ... "DSL207", "DSL000"
   std::string message;
   std::string snippet;     ///< the offending source line, whitespace-trimmed
 };
@@ -73,6 +93,12 @@ struct Finding {
 struct RuleInfo {
   const char* id;
   const char* summary;
+  /// Where the rule applies ("all files", "hot path (lp/, mip/, tip/)",
+  /// "headers", "tree (include graph)") — mirrored by the DESIGN.md tables.
+  const char* scope;
+  /// Catalog generation that introduced the rule: 1 = DSL00x structural,
+  /// 2 = DSL10x hot-path perf, 3 = DSL20x module graph.
+  int since;
 };
 
 /// Stable rule catalog (for --list-rules and the docs).
@@ -91,9 +117,72 @@ struct LintResult {
   std::vector<std::string> errors;
 };
 
+// ---------------------------------------------------------------------------
+// Include-graph pass (DSL200..DSL203, DSL207) and the module graph it
+// resolves. Files are mapped to modules by path (the component after
+// "dynsched/", or "tools"); quote includes resolve includer-relative first,
+// then against the scan roots ("src/", "tools/"); angle includes resolve
+// against the roots only; unresolved includes are external and ignored.
+
+/// An in-memory file handed to analyzeIncludeGraph (tests build fixture
+/// trees without touching the filesystem).
+struct SourceFile {
+  std::string path;  ///< /-normalized; selects the module
+  std::string contents;
+};
+
+struct ModuleEdge {
+  std::string from;
+  std::string to;
+  std::size_t includeCount = 0;  ///< #include directives behind the edge
+  bool declared = false;         ///< allowed by layers.txt
+};
+
+/// The resolved module-level include graph (for --graph-json/--graph-dot).
+struct ModuleGraph {
+  /// layers.txt order first, then undeclared modules alphabetically.
+  std::vector<std::string> modules;
+  std::map<std::string, std::vector<std::string>> moduleFiles;
+  /// Declared allowed dependencies per module, from layers.txt.
+  std::map<std::string, std::vector<std::string>> declaredDeps;
+  std::vector<ModuleEdge> edges;  ///< actual cross-module edges, sorted
+};
+
+struct IncludeGraphResult {
+  std::vector<Finding> findings;
+  ModuleGraph graph;
+  /// Malformed layers.txt (bad syntax, unknown dep, cyclic declaration) —
+  /// gate errors, not findings: the run exits 2.
+  std::vector<std::string> errors;
+};
+
+/// Cross-file analysis over a whole tree. `layersText` holds the layers.txt
+/// contents; when empty the DSL200 layer gate is off (graph resolution,
+/// cycles, and the other rules still run).
+IncludeGraphResult analyzeIncludeGraph(const std::vector<SourceFile>& files,
+                                       std::string_view layersText);
+
+/// {modules: [{name, files, declaredDeps}], edges: [{from, to, includes,
+/// declared}]} — the architecture artifact CI archives.
+std::string renderGraphJson(const ModuleGraph& graph);
+
+/// Graphviz digraph: solid = declared+used, red = undeclared (violation),
+/// dashed = declared but currently unused.
+std::string renderGraphDot(const ModuleGraph& graph);
+
+struct TreeLintOptions {
+  /// layers.txt contents ("" = no layer gate).
+  std::string layersText;
+  /// When non-null, receives the resolved module graph.
+  ModuleGraph* graphOut = nullptr;
+};
+
 /// Lints files and directories (recursively; *.cpp/*.cc/*.hpp/*.h, hidden
-/// and build*/ directories skipped). Findings are sorted by file/line.
+/// and build*/ directories skipped), including the cross-file include-graph
+/// pass. Findings are sorted by file/line.
 LintResult lintPaths(const std::vector<std::string>& paths);
+LintResult lintPaths(const std::vector<std::string>& paths,
+                     const TreeLintOptions& options);
 
 /// "file:line:col: RULE: message" lines plus a summary tail.
 std::string renderText(const LintResult& result);
