@@ -1,0 +1,248 @@
+// Serve-path throughput: a live dynsched-server on a Unix socket under a
+// small fleet of concurrent retrying clients.
+//
+// The request stream is seeded and drawn from a pool smaller than the issue
+// count, so duplicate instances exercise the idempotent answer cache while
+// unique ones exercise admission and the solve path. The machine-readable
+// report (BENCH_serve.json) carries the accounting invariants the serve gate
+// checks (scripts/bench_check.py --serve): zero errors, every issued request
+// reaching exactly one final outcome, completed == accepted + cacheHits, and
+// a bounded shed rate. Latencies are host-scoped like every wall-clock
+// number in this repo.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynsched/serve/client.hpp"
+#include "dynsched/serve/request.hpp"
+#include "dynsched/serve/server.hpp"
+#include "dynsched/util/budget.hpp"
+#include "dynsched/util/flags.hpp"
+#include "dynsched/util/journal.hpp"
+#include "dynsched/util/rng.hpp"
+#include "dynsched/util/timer.hpp"
+
+using namespace dynsched;
+
+namespace {
+
+/// The i-th request of the seeded stream: an optional free-resource
+/// staircase plus a small waiting set, like dynsched-client's generator but
+/// with short estimates — the bench measures the serving layer, so the
+/// per-request solve is kept subsecond (small time-indexed grids) and the
+/// node budget caps the stragglers.
+serve::ScheduleRequest makeRequest(std::uint64_t seed, std::uint64_t index,
+                                   NodeCount nodes, long maxNodes) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + index + 1);
+  serve::ScheduleRequest request;
+  request.clientRequestId = index;
+  request.machine = core::Machine{nodes};
+  request.now = static_cast<Time>(1000 * (index + 1));
+  request.metric = core::MetricKind::SldWA;
+  request.maxNodes = maxNodes;
+  if (rng.uniform() < 0.5) {
+    const int steps = static_cast<int>(rng.uniformInt(1, 3));
+    Time when = request.now;
+    NodeCount freeNodes =
+        static_cast<NodeCount>(rng.uniformInt(1, nodes > 1 ? nodes - 1 : 1));
+    for (int s = 0; s < steps; ++s) {
+      request.history.push_back(core::MachineHistory::Entry{when, freeNodes});
+      when += static_cast<Time>(rng.uniformInt(60, 600));
+      freeNodes = static_cast<NodeCount>(
+          rng.uniformInt(freeNodes, static_cast<std::int64_t>(nodes)));
+    }
+    request.history.push_back(core::MachineHistory::Entry{when, nodes});
+  }
+  const int jobCount = static_cast<int>(rng.uniformInt(3, 5));
+  request.jobs.reserve(static_cast<std::size_t>(jobCount));
+  for (int j = 0; j < jobCount; ++j) {
+    core::Job job;
+    job.id = static_cast<JobId>(index * 1000 + static_cast<std::uint64_t>(j));
+    job.submit = request.now - static_cast<Time>(rng.uniformInt(0, 300));
+    job.width = static_cast<NodeCount>(
+        rng.uniformInt(1, static_cast<std::int64_t>(nodes)));
+    job.estimate = static_cast<Time>(rng.uniformInt(120, 600));
+    job.actualRuntime = static_cast<Time>(rng.uniformInt(60, job.estimate));
+    request.jobs.push_back(job);
+  }
+  return request;
+}
+
+/// Final per-request outcomes observed by one client thread.
+struct ClientTally {
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("bench_serve_throughput");
+  auto& requests = flags.addInt("requests", 30, "requests to issue in total");
+  auto& pool = flags.addInt(
+      "pool", 15, "unique instances; the rest are idempotent duplicates");
+  auto& clients = flags.addInt("clients", 4, "concurrent client threads");
+  auto& nodes = flags.addInt("nodes", 32, "machine size of the requests");
+  auto& maxNodes = flags.addInt(
+      "max-nodes", 200, "per-request B&B node budget (determinism knob)");
+  auto& seed = flags.addInt("seed", 7, "request-stream seed");
+  auto& maxConcurrent =
+      flags.addInt("max-concurrent", 3, "server solve slots");
+  auto& maxQueue = flags.addInt("max-queue", 8, "server admission queue");
+  auto& timeScale = flags.addInt(
+      "time-scale", 60,
+      "pin the solver's time-scale [s] (0 = Eq. 6 auto-scaling; short "
+      "estimates then land on second-precision grids, which is exactly the "
+      "regime the paper calls unaffordable — useless for a throughput bench)");
+  auto& socketPath = flags.addString(
+      "socket", "/tmp/dynsched_bench_serve.sock", "Unix socket path");
+  auto& jsonPath = flags.addString(
+      "json", "", "write a machine-readable report to this file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  serve::ServerOptions serverOptions;
+  serverOptions.unixPath = socketPath;
+  serverOptions.ioThreads = static_cast<std::size_t>(clients) + 1;
+  serverOptions.pollIntervalMs = 20;
+  serverOptions.service.maxConcurrent =
+      static_cast<std::size_t>(maxConcurrent);
+  serverOptions.service.maxQueueDepth = static_cast<std::size_t>(maxQueue);
+  serverOptions.service.solve.forcedTimeScale = static_cast<Time>(timeScale);
+  // The bench measures the healthy path; faults have their own check legs.
+  serverOptions.service.faults = util::FaultPlan{};
+  serve::Server server(serverOptions);
+  std::thread runner([&server] { server.run(); });
+
+  const std::int64_t perClient =
+      (requests + clients - 1) / (clients > 0 ? clients : 1);
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  util::WallTimer timer;
+  std::vector<std::thread> fleet;
+  std::uint64_t issued = 0;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    const std::int64_t lo = c * perClient;
+    const std::int64_t hi = std::min<std::int64_t>(lo + perClient, requests);
+    if (lo >= hi) break;
+    issued += static_cast<std::uint64_t>(hi - lo);
+    fleet.emplace_back([&, c, lo, hi] {
+      serve::ClientOptions clientOptions;
+      clientOptions.unixPath = socketPath;
+      clientOptions.timeoutMs = 60000;
+      clientOptions.retry.maxAttempts = 8;
+      clientOptions.retry.baseDelaySeconds = 0.005;
+      clientOptions.retry.maxDelaySeconds = 0.1;
+      clientOptions.rngSeed = static_cast<std::uint64_t>(seed + c);
+      serve::Client client(clientOptions);
+      ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+      for (std::int64_t i = lo; i < hi; ++i) {
+        try {
+          const serve::ScheduleResponse response = client.schedule(makeRequest(
+              static_cast<std::uint64_t>(seed),
+              static_cast<std::uint64_t>(i % pool),
+              static_cast<NodeCount>(nodes), static_cast<long>(maxNodes)));
+          switch (response.status) {
+            case serve::ResponseStatus::Ok: ++tally.ok; break;
+            case serve::ResponseStatus::Overloaded:
+            case serve::ResponseStatus::Draining: ++tally.shed; break;
+            default: ++tally.errors; break;
+          }
+        } catch (const std::exception&) {
+          ++tally.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : fleet) worker.join();
+  const double seconds = timer.elapsedMilliseconds() / 1000.0;
+
+  const serve::HealthStats health = server.service().health();
+  server.stop();
+  runner.join();
+
+  ClientTally total;
+  for (const ClientTally& tally : tallies) {
+    total.ok += tally.ok;
+    total.shed += tally.shed;
+    total.errors += tally.errors;
+  }
+  const std::uint64_t admissions =
+      health.accepted + health.cacheHits + health.shed;
+  const double shedRate = admissions > 0
+                              ? static_cast<double>(health.shed) /
+                                    static_cast<double>(admissions)
+                              : 0.0;
+  const double rps =
+      seconds > 0 ? static_cast<double>(issued) / seconds : 0.0;
+
+  std::printf(
+      "issued %llu in %.2fs (%.2f req/s) over %lld clients\n"
+      "final outcomes: ok %llu shed %llu errors %llu\n"
+      "server: accepted %llu completed %llu cacheHits %llu shed %llu "
+      "(shed rate %.1f%%) errors %llu\n"
+      "latency: p50 %.1fms p99 %.1fms; rungs %llu/%llu/%llu/%llu\n",
+      static_cast<unsigned long long>(issued), seconds, rps,
+      static_cast<long long>(clients),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(health.accepted),
+      static_cast<unsigned long long>(health.completed),
+      static_cast<unsigned long long>(health.cacheHits),
+      static_cast<unsigned long long>(health.shed), 100.0 * shedRate,
+      static_cast<unsigned long long>(health.errors), health.p50Ms,
+      health.p99Ms, static_cast<unsigned long long>(health.rungCount[0]),
+      static_cast<unsigned long long>(health.rungCount[1]),
+      static_cast<unsigned long long>(health.rungCount[2]),
+      static_cast<unsigned long long>(health.rungCount[3]));
+
+  if (!jsonPath.empty()) {
+    const auto num = [](double v) {
+      char out[64];
+      std::snprintf(out, sizeof(out), "%.10g", v);
+      return std::string(out);
+    };
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_serve_throughput\",\n"
+         << "  \"schemaVersion\": 1,\n"
+         << "  \"config\": {"
+         << "\"requests\": " << requests << ", \"pool\": " << pool
+         << ", \"clients\": " << clients << ", \"nodes\": " << nodes
+         << ", \"maxNodes\": " << maxNodes << ", \"seed\": " << seed
+         << ", \"maxConcurrent\": " << maxConcurrent
+         << ", \"maxQueue\": " << maxQueue
+         << ", \"timeScale\": " << timeScale << "},\n"
+         << "  \"host\": {\"cpus\": " << std::thread::hardware_concurrency()
+         << ", \"compiler\": \"" << __VERSION__ << "\"},\n"
+         << "  \"totals\": {"
+         << "\"issued\": " << issued << ", \"ok\": " << total.ok
+         << ", \"shedFinal\": " << total.shed
+         << ", \"errorsFinal\": " << total.errors
+         << ", \"accepted\": " << health.accepted
+         << ", \"completed\": " << health.completed
+         << ", \"cacheHits\": " << health.cacheHits
+         << ", \"shed\": " << health.shed
+         << ", \"errors\": " << health.errors
+         << ", \"seconds\": " << num(seconds)
+         << ", \"requestsPerSecond\": " << num(rps) << "},\n"
+         << "  \"latency\": {\"p50Ms\": " << num(health.p50Ms)
+         << ", \"p99Ms\": " << num(health.p99Ms) << "},\n"
+         << "  \"rungHistogram\": [" << health.rungCount[0] << ", "
+         << health.rungCount[1] << ", " << health.rungCount[2] << ", "
+         << health.rungCount[3] << "],\n"
+         << "  \"shedRate\": " << num(shedRate) << ",\n"
+         << "  \"thresholds\": {\"maxShedRate\": 0.25, "
+         << "\"maxP99Ms\": 60000}\n}\n";
+    try {
+      util::atomicWriteFile(jsonPath, json.str());
+    } catch (const util::JournalError& e) {
+      std::fprintf(stderr, "cannot write %s: %s\n", jsonPath.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("json report: %s\n", jsonPath.c_str());
+  }
+  return total.errors > 0 || health.errors > 0 ? 1 : 0;
+}

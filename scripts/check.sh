@@ -10,8 +10,15 @@
 # failure; missing required tools fail fast instead of silently skipping a
 # gate.
 #
+# The serve leg drives the dynsched-server daemon end to end: a reference
+# run with a graceful SIGTERM drain, a journal-resume replay that must diff
+# byte-identical, a five-kind fault soak that must still answer every
+# request, a kill matrix (SIGKILL-equivalent exit 137 right after answer N,
+# then resume), and the bench_serve_throughput accounting gate against the
+# committed BENCH_serve.json.
+#
 # Usage: scripts/check.sh [--jobs N] [--rebaseline-bench]
-#          [--skip asan|tsan|tidy|wsafety|lint|fuzz|faults|kill|bench]...
+#          [--skip asan|tsan|tidy|wsafety|lint|fuzz|faults|kill|serve|bench]...
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -193,6 +200,118 @@ if ! skip kill; then
       fi
     fi
     rm -rf "$KILL_DIR"
+  fi
+fi
+
+if ! skip serve; then
+  # Serving layer end to end. All requests are node-limited (never
+  # wall-clock-limited) — same determinism rationale as the kill matrix:
+  # replayed and re-solved answers must diff byte-identical.
+  echo "=== [serve] build server, client, and throughput bench ==="
+  cmake -B build-plain -S . "${PLAIN_FLAGS[@]}" > build-plain.cmake.log 2>&1 \
+    || { cat build-plain.cmake.log; FAILED="$FAILED serve"; }
+  if [[ " $FAILED " != *" serve "* ]]; then
+    cmake --build build-plain -j "$JOBS" --target \
+        dynsched_server dynsched_client bench_serve_throughput \
+      || FAILED="$FAILED serve"
+  fi
+  if [[ " $FAILED " != *" serve "* ]]; then
+    SERVE_DIR="$(mktemp -d)"
+    SOCK="$SERVE_DIR/dynsched.sock"
+    SERVER=(build-plain/tools/dynsched_server --socket "$SOCK")
+    CLIENT=(build-plain/tools/dynsched_client --socket "$SOCK" --count 6
+            --seed 7 --max-nodes 300 --retries 6 --timeout-ms 60000)
+    serve_stop() {  # serve_stop PID EXPECTED_RC LABEL
+      local rc=0
+      kill -TERM "$1" 2> /dev/null || true
+      wait "$1" || rc=$?
+      if [[ "$rc" -ne "$2" ]]; then
+        echo "serve: $3: expected exit $2, got $rc" >&2
+        return 1
+      fi
+    }
+
+    echo "=== [serve] reference run + graceful drain ==="
+    "${SERVER[@]}" --journal "$SERVE_DIR/a.journal" 2> "$SERVE_DIR/a.log" &
+    SERVER_PID=$!
+    timeout 300 "${CLIENT[@]}" > "$SERVE_DIR/reference.txt" \
+      || FAILED="$FAILED serve"
+    serve_stop "$SERVER_PID" 0 "graceful drain" || FAILED="$FAILED serve"
+
+    if [[ " $FAILED " != *" serve "* ]]; then
+      echo "=== [serve] journal resume replays byte-identical ==="
+      "${SERVER[@]}" --journal "$SERVE_DIR/a.journal" --resume \
+          2> "$SERVE_DIR/b.log" &
+      SERVER_PID=$!
+      timeout 300 "${CLIENT[@]}" > "$SERVE_DIR/replay.txt" \
+        || FAILED="$FAILED serve"
+      cmp "$SERVE_DIR/reference.txt" "$SERVE_DIR/replay.txt" \
+        || { echo "serve: resumed replay differs from the reference" >&2
+             FAILED="$FAILED serve"; }
+      timeout 60 "${CLIENT[@]}" --health > "$SERVE_DIR/health.txt" \
+        || FAILED="$FAILED serve"
+      grep -q "recovered 6 answers" "$SERVE_DIR/health.txt" \
+        || { echo "serve: expected 6 recovered answers in:" >&2
+             cat "$SERVE_DIR/health.txt" >&2; FAILED="$FAILED serve"; }
+      serve_stop "$SERVER_PID" 0 "resume drain" || FAILED="$FAILED serve"
+    fi
+
+    if [[ " $FAILED " != *" serve "* ]]; then
+      # Every injected serve fault must surface as a structured, retryable
+      # client outcome: the full stream still answers Ok on every request.
+      echo "=== [serve] fault soak (all five serve-path kinds) ==="
+      DYNSCHED_FAULTS="accept-fail=1,short-read=2,short-write=4,force-shed=2,worker-stall=3" \
+          "${SERVER[@]}" --journal "$SERVE_DIR/c.journal" \
+          2> "$SERVE_DIR/c.log" &
+      SERVER_PID=$!
+      timeout 300 "${CLIENT[@]}" > "$SERVE_DIR/soak.txt" \
+        || { echo "serve: fault soak left requests unanswered" >&2
+             FAILED="$FAILED serve"; }
+      serve_stop "$SERVER_PID" 0 "fault-soak drain" || FAILED="$FAILED serve"
+    fi
+
+    if [[ " $FAILED " != *" serve "* ]]; then
+      # Kill matrix: exit 137 right after persisting answer N, resume from
+      # the journal, re-send the stream — byte-identical to the reference.
+      for step in 0 2; do
+        echo "=== [serve] kill-at-step=$step -> resume ==="
+        DYNSCHED_FAULTS="kill-at-step=$step" \
+            "${SERVER[@]}" --journal "$SERVE_DIR/kill$step.journal" \
+            2> "$SERVE_DIR/kill$step.log" &
+        SERVER_PID=$!
+        timeout 120 "${CLIENT[@]}" > /dev/null 2>&1 || true
+        serve_stop "$SERVER_PID" 137 "kill-at-step=$step" \
+          || { FAILED="$FAILED serve"; break; }
+        "${SERVER[@]}" --journal "$SERVE_DIR/kill$step.journal" --resume \
+            2>> "$SERVE_DIR/kill$step.log" &
+        SERVER_PID=$!
+        timeout 300 "${CLIENT[@]}" > "$SERVE_DIR/kill$step.txt" \
+          || { FAILED="$FAILED serve"; break; }
+        cmp "$SERVE_DIR/reference.txt" "$SERVE_DIR/kill$step.txt" \
+          || { echo "serve: kill-at-step=$step resumed answers differ" >&2
+               FAILED="$FAILED serve"; break; }
+        serve_stop "$SERVER_PID" 0 "post-kill drain" \
+          || { FAILED="$FAILED serve"; break; }
+      done
+    fi
+
+    if [[ " $FAILED " != *" serve "* ]]; then
+      echo "=== [serve] bench_serve_throughput accounting gate ==="
+      if build-plain/bench/bench_serve_throughput \
+          --socket "$SERVE_DIR/bench.sock" \
+          --json build-plain/BENCH_serve.current.json > /dev/null; then
+        if [[ "$REBASELINE_BENCH" -eq 1 ]]; then
+          cp build-plain/BENCH_serve.current.json BENCH_serve.json
+          echo "serve: BENCH_serve.json rebaselined; review and commit it"
+        else
+          python3 scripts/bench_check.py --serve BENCH_serve.json \
+              build-plain/BENCH_serve.current.json || FAILED="$FAILED serve"
+        fi
+      else
+        FAILED="$FAILED serve"
+      fi
+    fi
+    rm -rf "$SERVE_DIR"
   fi
 fi
 

@@ -49,6 +49,12 @@ MetricKind parseMetric(const std::string& name) {
   DYNSCHED_CHECK_MSG(false, "unknown metric '" << name << "'");
 }
 
+bool metricFromIndex(std::uint8_t index, MetricKind& metric) {
+  if (index >= static_cast<std::uint8_t>(kMetricKinds)) return false;
+  metric = static_cast<MetricKind>(index);
+  return true;
+}
+
 bool lowerIsBetter(MetricKind metric) {
   return metric != MetricKind::Utilization;
 }

@@ -25,8 +25,15 @@ enum class MetricKind {
   Utilization,          ///< scheduled area / (machine · (makespan − now))
 };
 
+/// Number of MetricKind values (serialization range checks).
+inline constexpr int kMetricKinds = 8;
+
 const char* metricName(MetricKind metric);
 MetricKind parseMetric(const std::string& name);
+
+/// Validated u8 → MetricKind conversion (wire/journal payloads serialize
+/// metrics as one byte). Returns false on an out-of-range value.
+bool metricFromIndex(std::uint8_t index, MetricKind& metric);
 
 /// True when a smaller value means a better schedule (all but Utilization).
 bool lowerIsBetter(MetricKind metric);

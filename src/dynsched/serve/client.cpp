@@ -1,0 +1,82 @@
+#include "dynsched/serve/client.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace dynsched::serve {
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), rng_(options_.rngSeed) {
+  if (!options_.sleep) options_.sleep = sleepSeconds;
+}
+
+Socket Client::dial() {
+  if (!options_.unixPath.empty()) return connectUnix(options_.unixPath);
+  return connectTcp(options_.tcpPort);
+}
+
+ScheduleResponse Client::schedule(const ScheduleRequest& request) {
+  const Frame frame{kScheduleRequestFrame, kFrameVersion,
+                    encodeScheduleRequest(request)};
+  std::optional<ScheduleResponse> last;
+  std::string lastTransportError = "no attempt made";
+  const auto attempt = [&]() -> bool {
+    try {
+      Socket socket = dial();
+      socket.sendFrame(frame);
+      std::optional<Frame> reply = socket.recvFrame(options_.timeoutMs);
+      if (!reply) {
+        lastTransportError = "timed out waiting for the response";
+        return false;
+      }
+      if (reply->type != kScheduleResponseFrame) {
+        lastTransportError =
+            "unexpected frame type " + std::to_string(reply->type);
+        return false;
+      }
+      // Decode failures (version skew) propagate: re-sending the same
+      // request cannot fix them, so they are not retryable.
+      last = decodeScheduleResponse(reply->payload);
+      return last->status != ResponseStatus::Overloaded &&
+             last->status != ResponseStatus::Draining;
+    } catch (const NetError& err) {
+      lastTransportError = err.what();
+      return false;
+    }
+  };
+  const RetryOutcome outcome =
+      retryWithBackoff(options_.retry, rng_.split(), options_.sleep, attempt);
+  if (outcome.succeeded || last.has_value()) return *last;
+  throw NetError("request failed after " + std::to_string(outcome.attempts) +
+                 " attempts: " + lastTransportError);
+}
+
+HealthStats Client::health() {
+  const Frame frame{kHealthRequestFrame, kFrameVersion, std::string()};
+  std::optional<HealthStats> stats;
+  std::string lastTransportError = "no attempt made";
+  const auto attempt = [&]() -> bool {
+    try {
+      Socket socket = dial();
+      socket.sendFrame(frame);
+      std::optional<Frame> reply = socket.recvFrame(options_.timeoutMs);
+      if (!reply || reply->type != kHealthResponseFrame) {
+        lastTransportError = "no health response";
+        return false;
+      }
+      stats = decodeHealthStats(reply->payload);
+      return true;
+    } catch (const NetError& err) {
+      lastTransportError = err.what();
+      return false;
+    }
+  };
+  const RetryOutcome outcome =
+      retryWithBackoff(options_.retry, rng_.split(), options_.sleep, attempt);
+  if (outcome.succeeded) return *stats;
+  throw NetError("health probe failed after " +
+                 std::to_string(outcome.attempts) +
+                 " attempts: " + lastTransportError);
+}
+
+}  // namespace dynsched::serve

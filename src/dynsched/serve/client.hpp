@@ -1,0 +1,56 @@
+// Retrying client of the scheduler service.
+//
+// One schedule() call is one logical request: the client connects, sends the
+// frame, and awaits the answer, retrying transport failures and Overloaded
+// sheds under the bounded decorrelated-jitter policy of retry.hpp. Retrying
+// is safe because requests are idempotent — the fingerprint maps a re-sent
+// request onto the server's answer cache, which replays the original answer
+// instead of re-solving. When every attempt fails the outcome is still
+// structured: the last shed/drain response is returned as-is, and a pure
+// transport failure throws NetError naming the final cause.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dynsched/serve/net_socket.hpp"
+#include "dynsched/serve/request.hpp"
+#include "dynsched/serve/retry.hpp"
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::serve {
+
+struct ClientOptions {
+  /// Unix-domain socket path; empty switches to TCP loopback `tcpPort`.
+  std::string unixPath;
+  std::uint16_t tcpPort = 0;
+  /// Per-response wait; a quiet server past this is a retryable failure.
+  int timeoutMs = 30000;
+  RetryPolicy retry;
+  /// Seed of the jitter stream (bit-reproducible retry schedules).
+  std::uint64_t rngSeed = 0x5eedULL;
+  /// Injected sleep for tests (fake clock); default sleeps for real.
+  SleepFn sleep;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  /// Sends one request, retrying per the policy. Returns the final response
+  /// (Ok, or the last structured rejection when retries were exhausted on
+  /// Overloaded/Draining). Throws NetError when every attempt failed at the
+  /// transport layer without a single structured answer.
+  ScheduleResponse schedule(const ScheduleRequest& request);
+
+  /// Fetches the server's health stats (same retry policy).
+  HealthStats health();
+
+ private:
+  Socket dial();
+
+  ClientOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace dynsched::serve

@@ -1,0 +1,70 @@
+#include "dynsched/serve/frame.hpp"
+
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/journal.hpp"
+
+namespace dynsched::serve {
+
+namespace {
+
+/// CRC over type+version (as framed) chained with the payload — exactly the
+/// journal's record checksum.
+std::uint32_t frameCrc(std::uint16_t type, std::uint16_t version,
+                       std::string_view payload) {
+  util::PayloadWriter framed;
+  framed.u16(type);
+  framed.u16(version);
+  const std::uint32_t seed =
+      util::crc32(framed.bytes().data(), framed.bytes().size());
+  return util::crc32(payload.data(), payload.size(), seed);
+}
+
+}  // namespace
+
+std::string encodeFrame(const Frame& frame) {
+  DYNSCHED_CHECK_MSG(frame.payload.size() <= kMaxFramePayloadBytes,
+                     "frame payload of " << frame.payload.size()
+                                         << " bytes exceeds the wire limit");
+  util::PayloadWriter header;
+  header.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  header.u16(frame.type);
+  header.u16(frame.version);
+  header.u32(frameCrc(frame.type, frame.version, frame.payload));
+  return header.bytes() + frame.payload;
+}
+
+FrameHeader decodeFrameHeader(std::string_view headerBytes) {
+  util::PayloadReader reader(headerBytes);
+  FrameHeader header;
+  header.payloadLength = reader.u32();
+  header.type = reader.u16();
+  header.version = reader.u16();
+  header.crc = reader.u32();
+  if (header.payloadLength > kMaxFramePayloadBytes) {
+    throw util::JournalError(
+        "frame declares an implausible payload length of " +
+        std::to_string(header.payloadLength) + " bytes (limit " +
+        std::to_string(kMaxFramePayloadBytes) + ")");
+  }
+  return header;
+}
+
+Frame assembleFrame(const FrameHeader& header, std::string payload) {
+  if (payload.size() != header.payloadLength) {
+    throw util::JournalError("frame payload is " +
+                             std::to_string(payload.size()) +
+                             " bytes but the header declared " +
+                             std::to_string(header.payloadLength));
+  }
+  if (frameCrc(header.type, header.version, payload) != header.crc) {
+    throw util::JournalError("frame checksum mismatch (torn or corrupt "
+                             "frame)");
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.version = header.version;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace dynsched::serve

@@ -1,0 +1,68 @@
+// Wire framing for the scheduler service.
+//
+// The socket protocol reuses the run journal's record framing byte for byte
+// (util/journal.hpp):
+//
+//   frame = payloadLength u32 | type u16 | version u16 | crc32 u32 | payload
+//
+// All integers little-endian; the CRC covers type, version, and payload.
+// Reusing the journal frame means a captured request stream *is* a journal
+// record stream, torn-tail semantics included: a peer dying mid-write leaves
+// a frame that fails to verify, which the receiver reports as a structured
+// `Malformed` outcome instead of misparsing. This header is pure
+// encode/decode — everything that touches a socket lives in net_socket.*
+// (dynsched-lint DSL008 keeps it that way).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dynsched::serve {
+
+/// Frame types of the serve protocol (namespaced away from the journal
+/// record types of study/sim/serve journals; the wire is its own stream).
+inline constexpr std::uint16_t kScheduleRequestFrame = 1;
+inline constexpr std::uint16_t kScheduleResponseFrame = 2;
+inline constexpr std::uint16_t kHealthRequestFrame = 3;
+inline constexpr std::uint16_t kHealthResponseFrame = 4;
+
+/// Current schema version of every frame payload.
+inline constexpr std::uint16_t kFrameVersion = 1;
+
+/// Fixed byte sizes of the frame header (mirrors the journal constants).
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Upper bound on a frame payload the service will accept. Far above any
+/// real request, far below anything that could be used to make the daemon
+/// buffer unbounded memory on behalf of one connection.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::uint16_t version = kFrameVersion;
+  std::string payload;
+};
+
+/// Header fields of a frame, decoded before the payload arrives (the
+/// receiver needs payloadLength to know how much to read).
+struct FrameHeader {
+  std::uint32_t payloadLength = 0;
+  std::uint16_t type = 0;
+  std::uint16_t version = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Serializes a frame (header + payload) into wire bytes.
+std::string encodeFrame(const Frame& frame);
+
+/// Decodes the 12 header bytes. Throws util::JournalError when
+/// payloadLength exceeds kMaxFramePayloadBytes (the one malformation that
+/// must be rejected before reading the payload).
+FrameHeader decodeFrameHeader(std::string_view headerBytes);
+
+/// Verifies the payload against the header CRC and assembles the frame.
+/// Throws util::JournalError on a checksum mismatch.
+Frame assembleFrame(const FrameHeader& header, std::string payload);
+
+}  // namespace dynsched::serve

@@ -1,0 +1,136 @@
+// Request/response schemas of the scheduler service, with idempotency
+// fingerprints and canonical rendering.
+//
+// A ScheduleRequest is one quasi-offline scheduling instance (paper §3.1):
+// the machine, the free-resource history of the running jobs, the waiting
+// set, the metric, and a per-request budget. The server answers with the
+// best rung the supervised degradation ladder reached plus full provenance
+// — never an empty timeout.
+//
+// Idempotency: requestFingerprint() hashes the solve-relevant fields (NOT
+// the client-chosen request id), so a retried request maps onto the same
+// FNV-1a key and replays the cached answer instead of re-solving. The
+// canonical response text deliberately excludes wall-clock timing and the
+// cache bit, so a replayed answer after a crash diffs byte-identical to the
+// uninterrupted run (the serve kill-matrix asserts exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dynsched/core/job.hpp"
+#include "dynsched/core/machine_history.hpp"
+#include "dynsched/core/metrics.hpp"
+#include "dynsched/core/policies.hpp"
+#include "dynsched/tip/supervised.hpp"
+#include "dynsched/util/budget.hpp"
+
+namespace dynsched::serve {
+
+struct ScheduleRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  /// Excluded from the fingerprint: two sends of the same instance are the
+  /// same request no matter how the client numbered them.
+  std::uint64_t clientRequestId = 0;
+  core::Machine machine{};
+  Time now = 0;
+  /// The free-resource staircase of the running jobs (Figure 1).
+  std::vector<core::MachineHistory::Entry> history;
+  std::vector<core::Job> jobs;
+  core::MetricKind metric = core::MetricKind::SldWA;
+  /// Per-request deadline / node budget; 0 falls back to the server
+  /// defaults. The deadline is wired into the solve's CancelToken, so an
+  /// expiring request walks the degradation ladder instead of timing out.
+  double wallSeconds = 0;
+  long maxNodes = 0;
+};
+
+std::string encodeScheduleRequest(const ScheduleRequest& request);
+/// Throws util::JournalError / CheckError on malformed payloads (short
+/// buffer, out-of-range enum, invalid history staircase).
+ScheduleRequest decodeScheduleRequest(std::string_view payload);
+
+/// FNV-1a 64-bit over the canonical solve-relevant fields (everything but
+/// clientRequestId) — the idempotency key of the answer cache and journal.
+std::uint64_t requestFingerprint(const ScheduleRequest& request);
+
+/// Outcome class of a response. Every request gets exactly one of these —
+/// the daemon never silently drops a request.
+enum class ResponseStatus : std::uint8_t {
+  Ok,          ///< solved (any rung of the ladder; see `rung`)
+  Overloaded,  ///< shed by admission control — retry with backoff
+  Draining,    ///< server is shutting down — retry against the successor
+  Malformed,   ///< request payload did not parse — do not retry verbatim
+  Error,       ///< internal failure, structured in `message`
+};
+
+inline constexpr int kResponseStatuses = 5;
+
+const char* responseStatusName(ResponseStatus status);
+bool responseStatusFromIndex(std::uint8_t index, ResponseStatus& status);
+
+/// One placed job of the answer schedule.
+struct PlacedJob {
+  JobId id = -1;
+  Time start = 0;
+  Time duration = 0;
+};
+
+struct ScheduleResponse {
+  std::uint64_t clientRequestId = 0;
+  std::uint64_t fingerprint = 0;
+  ResponseStatus status = ResponseStatus::Error;
+  /// Served from the answer cache (an idempotent replay) — excluded from
+  /// the canonical text: a replay must diff identical to the original.
+  bool cached = false;
+  std::string message;  ///< shed/drain/error detail ("" on Ok)
+
+  // Solve provenance — meaningful when status == Ok.
+  tip::SolveRung rung = tip::SolveRung::PolicyFallback;
+  util::CancelReason stopReason = util::CancelReason::None;
+  double gap = 0;
+  Time timeScale = 0;
+  core::PolicyKind bestPolicy = core::PolicyKind::Fcfs;
+  double policyValue = 0;  ///< best basic-policy metric value
+  double solvedValue = 0;  ///< metric value of the answered schedule
+  double seconds = 0;      ///< wall time (excluded from canonical text)
+  std::string provenance;  ///< ladder trace
+  std::vector<PlacedJob> schedule;
+};
+
+std::string encodeScheduleResponse(const ScheduleResponse& response);
+ScheduleResponse decodeScheduleResponse(std::string_view payload);
+
+/// Deterministic timing-free rendering (one line per field, one per placed
+/// job). Excludes `seconds`, `cached`, and `clientRequestId`, so replayed
+/// and re-sent answers compare byte-identical across restarts.
+std::string canonicalResponseText(const ScheduleResponse& response);
+
+/// Health/stats introspection (the `Health` frame payload).
+struct HealthStats {
+  std::uint64_t accepted = 0;    ///< requests admitted past admission
+  std::uint64_t completed = 0;   ///< Ok responses (cache hits included)
+  std::uint64_t shed = 0;        ///< Overloaded rejections
+  std::uint64_t malformed = 0;   ///< undecodable request payloads
+  std::uint64_t errors = 0;      ///< internal-failure responses
+  std::uint64_t cacheHits = 0;   ///< answers replayed from the cache
+  std::uint32_t queueDepth = 0;  ///< admissions waiting for a solve slot
+  std::uint32_t inFlight = 0;    ///< solves running right now
+  bool draining = false;
+  /// Per-rung answer counts, indexed by tip::solveRungIndex.
+  std::uint64_t rungCount[tip::kSolveRungs] = {0, 0, 0, 0};
+  double p50Ms = 0;  ///< median handle latency (served from a bounded ring)
+  double p99Ms = 0;
+  /// Journal recovery: answers replayed on the last restart, and the
+  /// cumulative torn-tail record ("recovered N rows, dropped M bytes").
+  std::uint64_t recoveredAnswers = 0;
+  std::uint64_t tornTails = 0;
+  std::uint64_t droppedTailBytes = 0;
+};
+
+std::string encodeHealthStats(const HealthStats& stats);
+HealthStats decodeHealthStats(std::string_view payload);
+
+}  // namespace dynsched::serve

@@ -1,0 +1,47 @@
+#include "dynsched/serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::serve {
+
+double Backoff::nextDelaySeconds() {
+  const double cap = policy_.maxDelaySeconds;
+  const double base = policy_.baseDelaySeconds;
+  const double upper = std::min(cap, prev_ * policy_.multiplier);
+  const double hi = std::max(base, upper);
+  const double delay = hi > base ? rng_.uniform(base, hi) : base;
+  prev_ = delay;
+  return delay;
+}
+
+void sleepSeconds(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+RetryOutcome retryWithBackoff(const RetryPolicy& policy, util::Rng rng,
+                              const SleepFn& sleep,
+                              const std::function<bool()>& attempt) {
+  DYNSCHED_CHECK_MSG(policy.maxAttempts >= 1,
+                     "retry policy needs at least one attempt");
+  RetryOutcome outcome;
+  Backoff backoff(policy, rng);
+  for (int i = 0; i < policy.maxAttempts; ++i) {
+    ++outcome.attempts;
+    if (attempt()) {
+      outcome.succeeded = true;
+      return outcome;
+    }
+    if (i + 1 == policy.maxAttempts) break;
+    const double delay = backoff.nextDelaySeconds();
+    outcome.delays.push_back(delay);
+    sleep(delay);
+  }
+  return outcome;
+}
+
+}  // namespace dynsched::serve

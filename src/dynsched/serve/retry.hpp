@@ -1,0 +1,65 @@
+// Bounded retries with decorrelated-jitter exponential backoff.
+//
+// The client (and any caller of the service over an unreliable hop) retries
+// transient failures — transport errors, Overloaded shed responses — a
+// bounded number of times. The delay sequence is the "decorrelated jitter"
+// variant of exponential backoff: each delay is drawn uniformly from
+// [base, min(cap, prev * multiplier)], which spreads synchronized retry
+// storms apart while still growing exponentially in expectation. Randomness
+// comes from an injected util::Rng (bit-reproducible), and sleeping goes
+// through an injected SleepFn so tests run the whole policy under a fake
+// clock. Retrying is safe because requests are idempotent: the server
+// replays a cached answer for a repeated fingerprint instead of re-solving.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::serve {
+
+struct RetryPolicy {
+  int maxAttempts = 5;            ///< total attempts (first try included)
+  double baseDelaySeconds = 0.05; ///< lower bound of every delay
+  double maxDelaySeconds = 2.0;   ///< cap on any single delay
+  double multiplier = 3.0;        ///< growth of the upper bound per attempt
+};
+
+/// Delay generator. nextDelaySeconds() draws the decorrelated-jitter delay
+/// for the upcoming retry; reset() restarts the envelope (new request).
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, util::Rng rng)
+      : policy_(policy), rng_(rng), prev_(policy.baseDelaySeconds) {}
+
+  double nextDelaySeconds();
+  void reset() { prev_ = policy_.baseDelaySeconds; }
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  double prev_;
+};
+
+/// Injectable sleep, so tests substitute a fake clock that records delays.
+using SleepFn = std::function<void(double seconds)>;
+
+/// Sleeps via std::this_thread (the production SleepFn).
+void sleepSeconds(double seconds);
+
+struct RetryOutcome {
+  bool succeeded = false;
+  int attempts = 0;                ///< attempts actually made
+  std::vector<double> delays;      ///< backoff delay before each retry
+};
+
+/// Runs `attempt` up to policy.maxAttempts times, sleeping a decorrelated-
+/// jitter delay between attempts. `attempt` returns true on success, false
+/// on a retryable failure; a thrown exception is NOT retried (non-transient
+/// failures must propagate immediately).
+RetryOutcome retryWithBackoff(const RetryPolicy& policy, util::Rng rng,
+                              const SleepFn& sleep,
+                              const std::function<bool()>& attempt);
+
+}  // namespace dynsched::serve

@@ -1,0 +1,76 @@
+// The socket front end of the scheduler service.
+//
+// Server owns the listener and a ThreadPool of connection handlers; the
+// accept loop runs on the caller's thread (run()) until stop() is called or
+// an interrupt (SIGINT/SIGTERM via util::signals) is observed, then drains:
+// accepting stops, queued and running solves finish or ladder down, every
+// connection flushes its last response, the answer journal gets its final
+// meta record, and run() returns — the process exits 0.
+//
+// Transport trouble on one connection (torn frame, injected short read,
+// dying peer) closes that connection and nothing else; the client's retry
+// policy re-sends and the answer cache replays idempotently. An undecodable
+// request payload gets a structured Malformed response — the frame CRC has
+// already verified, so the stream is still in sync and the connection
+// survives.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "dynsched/serve/net_socket.hpp"
+#include "dynsched/serve/service.hpp"
+#include "dynsched/util/thread_pool.hpp"
+
+namespace dynsched::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty switches to TCP loopback.
+  std::string unixPath;
+  /// TCP port when unixPath is empty (0 picks a free port).
+  std::uint16_t tcpPort = 0;
+  /// Connections served concurrently; beyond this a connection is answered
+  /// with one Overloaded response and closed (the client backs off).
+  std::size_t maxConnections = 32;
+  /// Connection-handler threads (each runs one connection at a time).
+  std::size_t ioThreads = 4;
+  /// Poll granularity of accepts and idle reads — bounds how long drain
+  /// waits for a quiet connection to notice.
+  int pollIntervalMs = 100;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  /// Binds the listener (so port() is valid before run()) and arms the
+  /// serve-path net faults from the service's fault plan. Throws NetError
+  /// on bind failure, CheckError/JournalError from service recovery.
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; returns after a graceful drain. Call from one thread.
+  void run();
+
+  /// Asks run() to begin the graceful drain (thread-safe; idempotent).
+  void stop() { stopRequested_.store(true, std::memory_order_relaxed); }
+
+  /// The bound TCP port (after tcpPort = 0), or 0 for Unix listeners.
+  std::uint16_t port() const { return listener_.port(); }
+
+  SchedulerService& service() { return service_; }
+
+ private:
+  void serveConnection(Socket socket);
+
+  ServerOptions options_;
+  SchedulerService service_;
+  Listener listener_;
+  util::ThreadPool pool_;
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<std::size_t> activeConnections_{0};
+};
+
+}  // namespace dynsched::serve

@@ -1,0 +1,50 @@
+#include "dynsched/tip/request_adapter.hpp"
+
+#include <utility>
+
+#include "dynsched/core/decider.hpp"
+#include "dynsched/core/planner.hpp"
+#include "dynsched/util/error.hpp"
+
+namespace dynsched::tip {
+
+sim::StepSnapshot makeRequestSnapshot(core::MachineHistory history,
+                                      std::vector<core::Job> waiting,
+                                      Time now, core::MetricKind metric) {
+  DYNSCHED_CHECK_MSG(!waiting.empty(),
+                     "request snapshot needs at least one waiting job");
+  const core::PolicySet policies = core::defaultPolicySet();
+  const core::MetricEvaluator evaluator(now, history.machineSize());
+  const bool lower = core::lowerIsBetter(metric);
+
+  std::vector<core::Schedule> schedules;
+  schedules.reserve(policies.size());
+  core::PolicyValues values;
+  values.reserve(policies.size());
+  std::size_t best = 0;
+  Time maxMakespan = now;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    schedules.push_back(core::planSchedule(history, waiting, policies[i],
+                                           now));
+    values.push_back(evaluator.evaluate(schedules.back(), metric));
+    maxMakespan = std::max(maxMakespan, schedules.back().makespan(now));
+    // Strict comparison: a tie keeps the earlier policy in set order (the
+    // paper's FCFS > SJF > LJF preference chain).
+    if (lower ? values[i] < values[best] : values[i] > values[best]) {
+      best = i;
+    }
+  }
+
+  sim::StepSnapshot snapshot;
+  snapshot.time = now;
+  snapshot.values = std::move(values);
+  snapshot.bestPolicy = policies[best];
+  snapshot.bestValue = snapshot.values[best];
+  snapshot.maxPolicyMakespan = maxMakespan;
+  snapshot.bestSchedule = std::move(schedules[best]);
+  snapshot.history = std::move(history);
+  snapshot.waiting = std::move(waiting);
+  return snapshot;
+}
+
+}  // namespace dynsched::tip

@@ -1,0 +1,30 @@
+// Request → StepSnapshot adapter for the scheduler service.
+//
+// A serve request carries exactly what the simulator captures at a
+// self-tuning step: the machine history of the running jobs and the fixed
+// waiting set at one decision instant. makeRequestSnapshot() rebuilds the
+// quasi-offline StepSnapshot the supervised solver expects — it plans every
+// basic policy, evaluates the requested metric, and fills in the ILP
+// ingredients (horizon bound = max policy makespan, warm start = best policy
+// schedule) the same way the simulator's snapshot capture does. The result
+// feeds straight into tip::supervisedBestSchedule.
+#pragma once
+
+#include <vector>
+
+#include "dynsched/core/job.hpp"
+#include "dynsched/core/machine_history.hpp"
+#include "dynsched/core/metrics.hpp"
+#include "dynsched/sim/simulator.hpp"
+
+namespace dynsched::tip {
+
+/// Builds the snapshot of one requested scheduling instance. `history` and
+/// `waiting` are sink parameters (moved into the snapshot). Policies are
+/// the paper's CCS set; ties resolve to the earlier policy in set order.
+/// Throws CheckError on an empty waiting set (nothing to schedule).
+sim::StepSnapshot makeRequestSnapshot(core::MachineHistory history,
+                                      std::vector<core::Job> waiting,
+                                      Time now, core::MetricKind metric);
+
+}  // namespace dynsched::tip

@@ -78,12 +78,34 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       DYNSCHED_CHECK_MSG(!value.empty(),
                          "DYNSCHED_FAULTS: kill-at-step needs =N");
       plan.killAtStep = parseFaultCount(kind, value, false);
+    } else if (kind == "accept-fail") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: accept-fail needs =N");
+      plan.acceptFailAt = parseFaultCount(kind, value, false);
+    } else if (kind == "short-read") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: short-read needs =N");
+      plan.shortReadAt = parseFaultCount(kind, value, false);
+    } else if (kind == "short-write") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: short-write needs =N");
+      plan.shortWriteAt = parseFaultCount(kind, value, false);
+    } else if (kind == "worker-stall") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: worker-stall needs =N");
+      plan.workerStallAt = parseFaultCount(kind, value, false);
+    } else if (kind == "force-shed") {
+      DYNSCHED_CHECK_MSG(!value.empty(),
+                         "DYNSCHED_FAULTS: force-shed needs =N");
+      plan.forceShedAt = parseFaultCount(kind, value, false);
     } else {
       DYNSCHED_CHECK_MSG(
           false, "DYNSCHED_FAULTS: unknown fault kind '"
                      << kind << "' (valid: deadline-now, oom-at-estimate, "
                                "lp-numerical-failure[=N], fail-at-node=N, "
-                               "fail-at-step=N|all, kill-at-step=N)");
+                               "fail-at-step=N|all, kill-at-step=N, "
+                               "accept-fail=N, short-read=N, short-write=N, "
+                               "worker-stall=N, force-shed=N)");
     }
   }
   return plan;
@@ -128,6 +150,26 @@ std::string FaultPlan::describe() const {
   }
   if (killAtStep >= 0) {
     os << sep << "kill-at-step=" << killAtStep;
+    sep = ",";
+  }
+  if (acceptFailAt >= 0) {
+    os << sep << "accept-fail=" << acceptFailAt;
+    sep = ",";
+  }
+  if (shortReadAt >= 0) {
+    os << sep << "short-read=" << shortReadAt;
+    sep = ",";
+  }
+  if (shortWriteAt >= 0) {
+    os << sep << "short-write=" << shortWriteAt;
+    sep = ",";
+  }
+  if (workerStallAt >= 0) {
+    os << sep << "worker-stall=" << workerStallAt;
+    sep = ",";
+  }
+  if (forceShedAt >= 0) {
+    os << sep << "force-shed=" << forceShedAt;
   }
   return os.str();
 }

@@ -71,8 +71,19 @@ struct SolveBudget {
 ///                             SIGKILLed) right after persisting step N —
 ///                             the kill-matrix primitive for resume tests
 ///
-/// All triggers are counters over solver events — never wall clock, never
-/// randomness — so a faulted run is bit-reproducible.
+/// Serve-path kinds, indexed by the serving layer's own event counters (the
+/// Nth accept, the Nth frame read/write, the Nth admitted request):
+///
+///   accept-fail=N             the Nth accept(2) on the server socket fails
+///   short-read=N              the Nth frame read returns a short count
+///   short-write=N             the Nth frame write returns a short count
+///   worker-stall=N            the Nth admitted solve stalls (its budget
+///                             expires immediately, walking the ladder)
+///   force-shed=N              the Nth admission decision sheds the request
+///                             as Overloaded regardless of queue depth
+///
+/// All triggers are counters over solver/server events — never wall clock,
+/// never randomness — so a faulted run is bit-reproducible.
 struct FaultPlan {
   static constexpr long kEveryStep = -2;
   static constexpr long kAllSolves = -1;
@@ -83,6 +94,11 @@ struct FaultPlan {
   bool deadlineNow = false;
   long failAtStep = -1;        ///< < 0 (except kEveryStep): off
   long killAtStep = -1;        ///< < 0: off (process exit after journaling)
+  long acceptFailAt = -1;      ///< < 0: off (serve: Nth accept fails)
+  long shortReadAt = -1;       ///< < 0: off (serve: Nth frame read is short)
+  long shortWriteAt = -1;      ///< < 0: off (serve: Nth frame write is short)
+  long workerStallAt = -1;     ///< < 0: off (serve: Nth solve stalls)
+  long forceShedAt = -1;       ///< < 0: off (serve: Nth admission sheds)
 
   /// Parses a DYNSCHED_FAULTS spec. Throws CheckError on unknown kinds or
   /// malformed values (a typo must not silently disable the matrix).
@@ -93,7 +109,8 @@ struct FaultPlan {
   bool any() const {
     return failAtNode >= 0 || oomAtEstimate || lpFailures != 0 ||
            deadlineNow || failAtStep == kEveryStep || failAtStep >= 0 ||
-           killAtStep >= 0;
+           killAtStep >= 0 || acceptFailAt >= 0 || shortReadAt >= 0 ||
+           shortWriteAt >= 0 || workerStallAt >= 0 || forceShedAt >= 0;
   }
   bool failsStep(long step) const {
     return failAtStep == kEveryStep || (failAtStep >= 0 && failAtStep == step);

@@ -257,6 +257,7 @@ JournalReadResult readJournal(const std::string& path) {
     pos += kFrameBytes + payloadLen;
   }
   result.validBytes = result.tailDropped ? pos : data.size();
+  result.droppedBytes = data.size() - result.validBytes;
   return result;
 }
 

@@ -139,6 +139,11 @@ struct JournalReadResult {
   std::uint64_t validBytes = 0;
   bool tailDropped = false;   ///< the file continued past validBytes
   std::string tailWarning;    ///< why the tail was dropped (offset + cause)
+  /// Bytes past validBytes that were discarded (0 when no tail was torn).
+  /// Recovery paths persist this into their meta record so "recovered N
+  /// rows, dropped M torn bytes" survives into health/status reporting
+  /// instead of living only in a stderr warning.
+  std::uint64_t droppedBytes = 0;
 };
 
 /// Reads and verifies a whole journal. Torn/corrupt tails are tolerated and

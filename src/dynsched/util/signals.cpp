@@ -28,6 +28,18 @@ void installInterruptHandlers() {
   sigaction(SIGTERM, &action, nullptr);
 }
 
+SignalGuard::SignalGuard() {
+  sigaction(SIGINT, nullptr, &savedInt_);
+  sigaction(SIGTERM, nullptr, &savedTerm_);
+  installInterruptHandlers();
+}
+
+SignalGuard::~SignalGuard() {
+  sigaction(SIGINT, &savedInt_, nullptr);
+  sigaction(SIGTERM, &savedTerm_, nullptr);
+  clearInterrupt();
+}
+
 void requestInterrupt() {
   g_interrupted.store(true, std::memory_order_relaxed);
 }

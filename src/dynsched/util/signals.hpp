@@ -8,11 +8,31 @@
 // journal-specific; any loop can poll interruptRequested() directly.
 #pragma once
 
+#include <csignal>
+
 namespace dynsched::util {
 
 /// Installs SIGINT and SIGTERM handlers that call requestInterrupt().
 /// Idempotent; safe to call from several subsystems.
 void installInterruptHandlers();
+
+/// Scoped install of the interrupt handlers: the constructor saves the
+/// current SIGINT/SIGTERM dispositions and installs the dynsched handlers;
+/// the destructor restores the saved dispositions and clears the interrupt
+/// flag. Tests (and the server's drain test, which raises a real SIGTERM)
+/// use this so handler state never leaks across test cases. Non-copyable,
+/// non-movable; nest freely — each guard restores what it saw.
+class SignalGuard {
+ public:
+  SignalGuard();
+  ~SignalGuard();
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  struct sigaction savedInt_ {};
+  struct sigaction savedTerm_ {};
+};
 
 /// Sets the process-wide interrupt flag. Async-signal-safe (one relaxed
 /// atomic store) — this is exactly what the signal handlers do. Tests use

@@ -218,6 +218,10 @@ TEST(JournalCorruption, TruncatedTailIsDroppedNotFatal) {
   const JournalReadResult read = readJournal(path);
   EXPECT_TRUE(read.tailDropped);
   EXPECT_FALSE(read.tailWarning.empty());
+  // The torn byte count is part of the result (recovery meta records and
+  // Health reporting persist it), not just the stderr warning.
+  EXPECT_EQ(read.droppedBytes, slurp(path).size() - read.validBytes);
+  EXPECT_GT(read.droppedBytes, 0u);
   ASSERT_EQ(read.records.size(), 2u);
   // Appending after the torn read truncates the tail and keeps going.
   {
@@ -229,6 +233,7 @@ TEST(JournalCorruption, TruncatedTailIsDroppedNotFatal) {
   }
   const JournalReadResult again = readJournal(path);
   EXPECT_FALSE(again.tailDropped);
+  EXPECT_EQ(again.droppedBytes, 0u);
   ASSERT_EQ(again.records.size(), 3u);
   PayloadReader r(again.records[2].payload);
   EXPECT_EQ(r.u64(), 99u);
@@ -307,6 +312,45 @@ TEST(FaultPlanKill, ParsesDescribesAndTriggers) {
   EXPECT_TRUE(both.killsAtStep(2));
   EXPECT_NE(both.describe().find(","), std::string::npos);
   EXPECT_THROW(FaultPlan::parse("kill-at-step=x"), CheckError);
+}
+
+TEST(FaultPlanServe, ParsesServePathKinds) {
+  const FaultPlan plan = FaultPlan::parse(
+      "accept-fail=0,short-read=1,short-write=2,worker-stall=3,force-shed=4");
+  EXPECT_TRUE(plan.any());
+  EXPECT_EQ(plan.acceptFailAt, 0);
+  EXPECT_EQ(plan.shortReadAt, 1);
+  EXPECT_EQ(plan.shortWriteAt, 2);
+  EXPECT_EQ(plan.workerStallAt, 3);
+  EXPECT_EQ(plan.forceShedAt, 4);
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("accept-fail=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("force-shed=4"), std::string::npos) << text;
+  // Every serve kind is counter-indexed; a bare kind is malformed.
+  EXPECT_THROW(FaultPlan::parse("accept-fail"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("worker-stall=x"), CheckError);
+}
+
+TEST(SignalGuard, RestoresPriorDispositionAndClearsFlag) {
+  // Install a custom SIGTERM handler, then let a guard replace it.
+  struct sigaction custom {};
+  custom.sa_handler = SIG_IGN;
+  struct sigaction prior {};
+  ASSERT_EQ(sigaction(SIGTERM, &custom, &prior), 0);
+  {
+    SignalGuard guard;
+    // The dynsched handlers are live: a raise sets the cooperative flag
+    // (and, because SIGTERM is no longer ignored, nothing terminates).
+    clearInterrupt();
+    ASSERT_EQ(raise(SIGTERM), 0);
+    EXPECT_TRUE(interruptRequested());
+  }
+  // Guard gone: the custom disposition is back and the flag is cleared.
+  EXPECT_FALSE(interruptRequested());
+  struct sigaction now {};
+  ASSERT_EQ(sigaction(SIGTERM, nullptr, &now), 0);
+  EXPECT_EQ(now.sa_handler, SIG_IGN);
+  ASSERT_EQ(sigaction(SIGTERM, &prior, nullptr), 0);
 }
 
 TEST(Interrupt, FlagReachesCancelToken) {

@@ -30,19 +30,23 @@ const char* const kPath = "src/dynsched/core/sample.cpp";
 
 TEST(LintCatalog, HasAllRulesWithStableIds) {
   const auto& catalog = ruleCatalog();
-  ASSERT_EQ(catalog.size(), 24u);
+  ASSERT_EQ(catalog.size(), 25u);
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(std::string(catalog[i].id), "DSL00" + std::to_string(i));
     EXPECT_FALSE(std::string(catalog[i].summary).empty());
     EXPECT_EQ(catalog[i].since, 1);
   }
-  for (std::size_t i = 8; i < 16; ++i) {
-    EXPECT_EQ(std::string(catalog[i].id), "DSL10" + std::to_string(i - 8));
+  // DSL008 arrived with the serving layer (catalog generation 4).
+  EXPECT_EQ(std::string(catalog[8].id), "DSL008");
+  EXPECT_FALSE(std::string(catalog[8].summary).empty());
+  EXPECT_EQ(catalog[8].since, 4);
+  for (std::size_t i = 9; i < 17; ++i) {
+    EXPECT_EQ(std::string(catalog[i].id), "DSL10" + std::to_string(i - 9));
     EXPECT_FALSE(std::string(catalog[i].summary).empty());
     EXPECT_EQ(catalog[i].since, 2);
   }
-  for (std::size_t i = 16; i < catalog.size(); ++i) {
-    EXPECT_EQ(std::string(catalog[i].id), "DSL20" + std::to_string(i - 16));
+  for (std::size_t i = 17; i < catalog.size(); ++i) {
+    EXPECT_EQ(std::string(catalog[i].id), "DSL20" + std::to_string(i - 17));
     EXPECT_FALSE(std::string(catalog[i].summary).empty());
     EXPECT_FALSE(std::string(catalog[i].scope).empty());
     EXPECT_EQ(catalog[i].since, 3);
@@ -566,6 +570,36 @@ TEST(LintRules, Dsl007AllowsRethrowAndCapturedExceptions) {
                      "    error = std::current_exception();\n"
                      "  }\n"
                      "}\n")
+                  .empty());
+}
+
+// --- DSL008: raw sockets outside serve/net_* --------------------------------
+
+TEST(LintRules, Dsl008FlagsRawSocketCallsOutsideNetModule) {
+  const auto findings = lintAt("src/dynsched/serve/server.cpp",
+                               "int fd = socket(AF_UNIX, SOCK_STREAM, 0);\n"
+                               "bind(fd, addr, len);\n"
+                               "listen(fd, 16);\n"
+                               "send(fd, buf, n, 0);\n");
+  EXPECT_EQ(rulesOf(findings), (std::vector<std::string>{"DSL008", "DSL008",
+                                                         "DSL008", "DSL008"}));
+}
+
+TEST(LintRules, Dsl008AllowsTheNetModuleItself) {
+  EXPECT_TRUE(lintAt("src/dynsched/serve/net_socket.cpp",
+                     "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+                     "::connect(fd, addr, len);\n")
+                  .empty());
+}
+
+TEST(LintRules, Dsl008IgnoresMemberAndQualifiedLookalikes) {
+  // Method calls and namespace-qualified helpers named like the syscalls
+  // are not the syscalls.
+  EXPECT_TRUE(lintAt(kPath,
+                     "client.connect(path);\n"
+                     "channel->send(frame);\n"
+                     "transport::recv(buffer);\n"
+                     "int accept = 3;\n")
                   .empty());
 }
 

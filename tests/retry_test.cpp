@@ -1,0 +1,133 @@
+// Retry/backoff policy tests under a fake clock: attempts are bounded, the
+// decorrelated-jitter delays stay inside their envelope, the schedule is
+// bit-reproducible from the seed, no sleep happens after the final attempt,
+// and non-transient exceptions are not retried.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "dynsched/serve/retry.hpp"
+#include "dynsched/util/error.hpp"
+#include "dynsched/util/rng.hpp"
+
+namespace dynsched::serve {
+namespace {
+
+/// Fake clock: records requested delays, never actually sleeps.
+struct FakeSleep {
+  std::vector<double> slept;
+  SleepFn fn() {
+    return [this](double seconds) { slept.push_back(seconds); };
+  }
+};
+
+TEST(Retry, BoundedAttemptsAndNoSleepAfterTheLast) {
+  RetryPolicy policy;
+  policy.maxAttempts = 4;
+  FakeSleep clock;
+  int calls = 0;
+  const RetryOutcome outcome = retryWithBackoff(
+      policy, util::Rng(1), clock.fn(), [&] {
+        ++calls;
+        return false;  // always a retryable failure
+      });
+  EXPECT_FALSE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 4);
+  EXPECT_EQ(calls, 4);
+  // Three backoffs between four attempts; the final failure sleeps nothing.
+  ASSERT_EQ(outcome.delays.size(), 3u);
+  EXPECT_EQ(clock.slept, outcome.delays);
+}
+
+TEST(Retry, StopsAtFirstSuccess) {
+  RetryPolicy policy;
+  policy.maxAttempts = 5;
+  FakeSleep clock;
+  int calls = 0;
+  const RetryOutcome outcome = retryWithBackoff(
+      policy, util::Rng(2), clock.fn(), [&] { return ++calls == 3; });
+  EXPECT_TRUE(outcome.succeeded);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.delays.size(), 2u);
+}
+
+TEST(Retry, DelaysStayInsideTheDecorrelatedJitterEnvelope) {
+  RetryPolicy policy;
+  policy.maxAttempts = 12;
+  policy.baseDelaySeconds = 0.05;
+  policy.maxDelaySeconds = 2.0;
+  policy.multiplier = 3.0;
+  FakeSleep clock;
+  const RetryOutcome outcome =
+      retryWithBackoff(policy, util::Rng(3), clock.fn(), [] { return false; });
+  ASSERT_EQ(outcome.delays.size(), 11u);
+  double prev = policy.baseDelaySeconds;
+  for (const double delay : outcome.delays) {
+    const double upper =
+        std::max(policy.baseDelaySeconds,
+                 std::min(policy.maxDelaySeconds, prev * policy.multiplier));
+    EXPECT_GE(delay, policy.baseDelaySeconds);
+    EXPECT_LE(delay, upper);
+    prev = delay;
+  }
+  // The envelope grows: late delays should be able to exceed the base.
+  EXPECT_GT(*std::max_element(outcome.delays.begin(), outcome.delays.end()),
+            policy.baseDelaySeconds);
+}
+
+TEST(Retry, ScheduleIsReproducibleFromTheSeed) {
+  RetryPolicy policy;
+  policy.maxAttempts = 6;
+  FakeSleep a;
+  FakeSleep b;
+  retryWithBackoff(policy, util::Rng(42), a.fn(), [] { return false; });
+  retryWithBackoff(policy, util::Rng(42), b.fn(), [] { return false; });
+  EXPECT_EQ(a.slept, b.slept);
+  FakeSleep c;
+  retryWithBackoff(policy, util::Rng(43), c.fn(), [] { return false; });
+  EXPECT_NE(a.slept, c.slept);
+}
+
+TEST(Retry, ExceptionsAreNotRetried) {
+  RetryPolicy policy;
+  policy.maxAttempts = 5;
+  FakeSleep clock;
+  int calls = 0;
+  EXPECT_THROW(retryWithBackoff(policy, util::Rng(4), clock.fn(),
+                                [&]() -> bool {
+                                  ++calls;
+                                  throw std::runtime_error("not transient");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.slept.empty());
+}
+
+TEST(Retry, RejectsAnEmptyAttemptBudget) {
+  RetryPolicy policy;
+  policy.maxAttempts = 0;
+  FakeSleep clock;
+  EXPECT_THROW(
+      retryWithBackoff(policy, util::Rng(5), clock.fn(), [] { return true; }),
+      CheckError);
+}
+
+TEST(Backoff, ResetRestartsTheEnvelope) {
+  RetryPolicy policy;
+  policy.baseDelaySeconds = 0.1;
+  policy.maxDelaySeconds = 10.0;
+  policy.multiplier = 2.0;
+  Backoff backoff(policy, util::Rng(6));
+  // Burn a few draws so the envelope opens up.
+  for (int i = 0; i < 5; ++i) backoff.nextDelaySeconds();
+  backoff.reset();
+  // Right after reset the upper bound is base * multiplier again.
+  const double first = backoff.nextDelaySeconds();
+  EXPECT_GE(first, policy.baseDelaySeconds);
+  EXPECT_LE(first, policy.baseDelaySeconds * policy.multiplier);
+}
+
+}  // namespace
+}  // namespace dynsched::serve

@@ -41,6 +41,10 @@ const std::vector<RuleInfo> kRules = {
                "must be bit-reproducible", kScopeAll, 1},
     {"DSL007", "catch (...) whose handler never rethrows — the error is "
                "silently dropped", kScopeAll, 1},
+    {"DSL008", "raw socket syscall (socket/accept/bind/listen/connect/"
+               "recv/send/...) outside src/dynsched/serve/net_* — all "
+               "network I/O goes through the serve::net RAII wrappers",
+     kScopeAll, 4},
     {"DSL100", "heap allocation inside a loop in a hot-path file (new / "
                "make_unique / make_shared) — hoist or pool the allocation",
      kScopeHot, 2},
@@ -872,6 +876,39 @@ void checkRawRandomness(const FileLint& lint) {
   }
 }
 
+// DSL008 — network syscalls stay behind the serve::net RAII wrappers.
+void checkRawSockets(const FileLint& lint) {
+  if (pathHas(lint.path, "serve/net_")) return;
+  static const std::set<std::string> kSocketCalls = {
+      "socket", "accept", "accept4", "bind",     "listen",
+      "connect", "recv",  "send",    "recvfrom", "sendto"};
+  for (std::size_t i = 0; i < lint.tokens.size(); ++i) {
+    const Token& token = lint.tokens[i];
+    if (token.kind != Token::Kind::Ident) continue;
+    if (kSocketCalls.count(token.text) == 0) continue;
+    // Call position only, and never a member/qualified call — obj.connect()
+    // or std::bind() are unrelated; the syscalls are called unqualified.
+    if (i + 1 >= lint.tokens.size() || lint.tokens[i + 1].text != "(") {
+      continue;
+    }
+    if (i > 0 && (lint.tokens[i - 1].text == "." ||
+                  lint.tokens[i - 1].text == "->")) {
+      continue;
+    }
+    // `ns::connect(` is some wrapper's function; bare `::connect(` is the
+    // global-scope syscall itself and must not slip through.
+    if (i > 0 && lint.tokens[i - 1].text == "::" &&
+        (i >= 2 && lint.tokens[i - 2].kind == Token::Kind::Ident)) {
+      continue;
+    }
+    lint.report("DSL008", token.line, token.column,
+                "raw socket syscall (" + token.text +
+                    ") outside src/dynsched/serve/net_*; use the serve::net "
+                    "RAII wrappers — they own EINTR handling, poll-bounded "
+                    "reads, fault injection, and fd lifetime");
+  }
+}
+
 // DSL007 — a catch-all that never rethrows swallows the error.
 void checkCatchAllDrops(const FileLint& lint) {
   const std::vector<Token>& tokens = lint.tokens;
@@ -924,6 +961,7 @@ std::vector<Finding> lintFile(const std::string& path,
   checkUncheckedSizeArith(lint);
   checkRawRandomness(lint);
   checkCatchAllDrops(lint);
+  checkRawSockets(lint);
   const internal::ScopeInfo scopes = internal::analyzeScopes(tokens);
   internal::checkPerfRules(lint, scopes);
   internal::checkHeaderRules(lint, scopes);

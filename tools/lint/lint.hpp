@@ -36,6 +36,10 @@
 //   DSL007  catch (...) whose handler neither rethrows nor captures the
 //           exception (std::current_exception) — errors must not be
 //           silently dropped
+//   DSL008  raw socket syscalls (socket/accept/bind/listen/connect/recv/
+//           send/recvfrom/sendto) outside src/dynsched/serve/net_* — all
+//           network I/O goes through the serve::net RAII wrappers (EINTR
+//           handling, poll-bounded reads, fault injection, fd lifetime)
 //
 // Performance rules (hot path only: files under lp/, mip/, tip/ — the code
 // that runs per simplex iteration / per B&B node; see DESIGN.md §8):
@@ -97,7 +101,8 @@ struct RuleInfo {
   /// "headers", "tree (include graph)") — mirrored by the DESIGN.md tables.
   const char* scope;
   /// Catalog generation that introduced the rule: 1 = DSL00x structural,
-  /// 2 = DSL10x hot-path perf, 3 = DSL20x module graph.
+  /// 2 = DSL10x hot-path perf, 3 = DSL20x module graph, 4 = serving-layer
+  /// structural additions (DSL008).
   int since;
 };
 
